@@ -1,0 +1,30 @@
+"""Ablation bench: MSHR count, DRAM latency, bank count."""
+
+from conftest import run_experiment
+
+from repro.experiments import ablation_moms_sizing
+
+
+def test_ablation_moms_sizing(benchmark):
+    rows = run_experiment(benchmark, ablation_moms_sizing)
+
+    mshr_rows = [r for r in rows if r["sweep"] == "MSHRs/bank"]
+    mshr_rows.sort(key=lambda r: r["value"])
+    # Scaling MSHRs up increases throughput and reduces DRAM traffic
+    # (more in-flight lines to coalesce onto), then saturates.
+    assert mshr_rows[-1]["GTEPS"] >= mshr_rows[0]["GTEPS"]
+    assert mshr_rows[-1]["DRAM lines"] <= mshr_rows[0]["DRAM lines"]
+
+    latency_rows = [r for r in rows if "latency" in r["sweep"]]
+    latency_rows.sort(key=lambda r: r["value"])
+    # Latency-insensitivity: a 10x latency increase costs far less
+    # than 10x throughput (longer window -> more coalescing).
+    assert latency_rows[-1]["GTEPS"] > 0.5 * latency_rows[0]["GTEPS"]
+    # More latency, more merging: line traffic does not grow.
+    assert latency_rows[-1]["DRAM lines"] <= \
+        latency_rows[0]["DRAM lines"] * 1.05
+
+    bank_rows = [r for r in rows if r["sweep"] == "shared banks"]
+    bank_rows.sort(key=lambda r: r["value"])
+    # More banks relieve conflicts: throughput non-decreasing-ish.
+    assert bank_rows[-1]["GTEPS"] >= 0.9 * bank_rows[0]["GTEPS"]

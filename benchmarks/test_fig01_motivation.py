@@ -1,0 +1,17 @@
+"""Fig. 1 motivation: DRAM lines per useful read across memory idioms."""
+
+from conftest import run_experiment
+
+from repro.experiments import fig01_motivation
+
+
+def test_fig01_motivation(benchmark):
+    rows = run_experiment(benchmark, fig01_motivation)
+    by_name = {r["memory system"]: r for r in rows}
+    ideal = by_name["ideal cache"]["lines/read"]
+    moms = by_name["MOMS (two-level)"]["lines/read"]
+    tiling = by_name["scratchpad tiling"]["lines/read"]
+    # The MOMS sits between the ideal cache and scratchpad tiling, and
+    # tiling moves redundant data (quadratic interval transfers).
+    assert ideal <= moms
+    assert moms < tiling

@@ -1,0 +1,25 @@
+"""Fig. 11: throughput across MOMS architectures x {PR, SCC, SSSP}."""
+
+from conftest import run_experiment
+
+from repro.experiments import fig11_architectures
+from repro.report import geomean
+
+
+def test_fig11_architectures(benchmark):
+    rows = run_experiment(benchmark, fig11_architectures)
+
+    def geo(arch_substr, algorithm):
+        values = [r["geomean"] for r in rows
+                  if arch_substr in r["architecture"]
+                  and r["algorithm"] == algorithm]
+        return geomean(values)
+
+    for algorithm in ("pagerank", "scc", "sssp"):
+        two_level = geo("two-level", algorithm)
+        traditional = geo("traditional", algorithm)
+        shared = geo("shared", algorithm)
+        # MOMSes beat the traditional non-blocking cache, and the
+        # two-level organization beats the shared-only one (paper V-B).
+        assert two_level > traditional, algorithm
+        assert two_level > shared, algorithm

@@ -1,0 +1,38 @@
+"""Fig. 12: SCC throughput vs cache hit rate; cache-less MOMSes."""
+
+from conftest import run_experiment
+
+from repro.experiments import fig12_hitrate
+from repro.report import geomean
+
+
+def test_fig12_hitrate(benchmark):
+    rows = run_experiment(benchmark, fig12_hitrate)
+
+    def geo(arch, caches):
+        return geomean([
+            r["GTEPS"] for r in rows
+            if r["architecture"] == arch and r["caches"] == caches
+        ])
+
+    moms_with = geo("16/16 two-level", "with cache")
+    moms_without = geo("16/16 two-level", "no cache")
+    trad_with = geo("18/16 traditional", "with cache")
+    trad_without = geo("18/16 traditional", "no cache")
+
+    # The MOMS keeps most of its throughput without any cache array;
+    # the traditional cache loses proportionally more (paper V-E).
+    moms_drop = moms_with / moms_without
+    trad_drop = trad_with / trad_without
+    assert moms_drop < trad_drop
+    assert moms_without > 0.6 * moms_with
+    # A cache-less MOMS is competitive with the FULL traditional cache.
+    assert moms_without > 0.8 * trad_with
+    # MOMSes reach their throughput at much lower hit rates.
+    moms_hits = [r["hit rate"] for r in rows
+                 if r["architecture"] == "16/16 two-level"
+                 and r["caches"] == "with cache"]
+    trad_hits = [r["hit rate"] for r in rows
+                 if r["architecture"] == "18/16 traditional"
+                 and r["caches"] == "with cache"]
+    assert max(moms_hits) < max(trad_hits)

@@ -1,0 +1,31 @@
+"""Fig. 13: PageRank throughput by preprocessing technique."""
+
+from conftest import run_experiment
+
+from repro.experiments import fig13_preprocessing
+from repro.graph.datasets import SCRAMBLED_LABELS
+from repro.report import geomean
+
+
+def test_fig13_preprocessing(benchmark):
+    rows = run_experiment(benchmark, fig13_preprocessing)
+    scarce = [r for r in rows if r["regime"] == "scarce jobs"]
+    plentiful = [r for r in rows if r["regime"] == "plentiful jobs"]
+
+    # The paper's mechanism: with jobs scarce relative to PEs, hashing
+    # balances in-edges per interval and wins.
+    assert geomean([r["hash speedup"] for r in scarce]) > 1.0
+    # With plentiful jobs dynamic scheduling already balances; hashing
+    # can reverse slightly (the paper's community-grouping exception)
+    # but never collapses.
+    assert geomean([r["hash speedup"] for r in plentiful]) > 0.7
+
+    # DBG's reuse mechanism: fewer DRAM lines on community-destroyed
+    # labelings (its throughput gain is partly offset at simulator
+    # scale by hot-line bank serialization -- see EXPERIMENTS.md).
+    for row in rows:
+        if row["benchmark"] in SCRAMBLED_LABELS:
+            assert row["dbg line ratio"] < 1.0
+            assert row["dbg+hash"] > 0.5 * row["hash"]
+        # DBG-only must never beat dbg+hash by much (balance).
+        assert row["dbg+hash"] >= 0.75 * row["dbg"]

@@ -1,0 +1,27 @@
+"""Fig. 15: cache-array ablation on the 20/8 two-level designs."""
+
+from conftest import run_experiment
+
+from repro.experiments import fig15_cache_impact
+
+
+def test_fig15_cache_impact(benchmark):
+    rows = run_experiment(benchmark, fig15_cache_impact)
+
+    def geomean_of(arch, caches):
+        return next(r["geomean"] for r in rows
+                    if r["architecture"] == arch and r["caches"] == caches)
+
+    moms_full = geomean_of("20/8 two-level MOMS", "full caches")
+    moms_none = geomean_of("20/8 two-level MOMS", "no caches")
+    trad_full = geomean_of("20/8 traditional", "full caches")
+    trad_none = geomean_of("20/8 traditional", "no caches")
+
+    moms_drop = moms_full / moms_none if moms_none else float("inf")
+    trad_drop = trad_full / trad_none if trad_none else float("inf")
+    # Paper: ~2.2x drop for traditional, ~10 % for the MOMS.
+    assert trad_drop > moms_drop
+    assert moms_drop < 1.5
+    assert trad_drop > 1.2
+    # The cache-less MOMS matches the FULL traditional cache.
+    assert moms_none > 0.8 * trad_full

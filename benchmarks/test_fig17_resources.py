@@ -1,0 +1,16 @@
+"""Fig. 17: resource utilization and frequency of the top designs."""
+
+from conftest import run_experiment
+
+from repro.experiments import fig17_resources
+
+
+def test_fig17_resources(benchmark):
+    rows = run_experiment(benchmark, fig17_resources)
+    for row in rows:
+        # Designs are mostly limited by LUTs and BRAM/URAM, DSPs are
+        # underutilized (paper V-G), and all top designs meet timing.
+        assert row["DSP %"] < row["LUT %"]
+        assert row["meets timing"]
+        assert 185 <= row["freq MHz"] <= 250
+        assert row["LUT %"] < 120

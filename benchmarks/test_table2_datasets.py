@@ -1,0 +1,15 @@
+"""Table II: benchmark suite properties."""
+
+from conftest import run_experiment
+
+from repro.experiments import table2_datasets
+
+
+def test_table2_datasets(benchmark):
+    rows = run_experiment(benchmark, table2_datasets)
+    assert len(rows) == 12
+    # Size ordering of the real-world graphs follows the paper.
+    sizes = {r["key"]: r["N"] for r in rows}
+    order = ["WT", "DB", "UK", "SK", "RV", "FR", "WB"]
+    values = [sizes[k] for k in order]
+    assert values == sorted(values)

@@ -1,0 +1,18 @@
+"""Table III: preprocessing wall times (partition / hash / DBG)."""
+
+from conftest import run_experiment
+
+from repro.experiments import table3_preprocessing_time
+
+
+def test_table3_preprocessing_time(benchmark):
+    rows = run_experiment(benchmark, table3_preprocessing_time)
+    assert len(rows) == 12
+    for row in rows:
+        # All steps complete and stay lightweight (linear in M/N).
+        assert row["partitioning (s)"] < 10
+        assert row["hashing (s)"] < 10
+        assert row["DBG (s)"] < 10
+    # DBG (O(N)) is cheaper than partitioning (O(M)) on the densest graph.
+    densest = max(rows, key=lambda r: r["M"])
+    assert densest["DBG (s)"] <= densest["partitioning (s)"] * 2

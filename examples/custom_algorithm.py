@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Defining a custom algorithm with the public Template 1 API.
+
+The accelerator is adaptable: any algorithm expressible as
+init/gather/apply over edges runs unmodified (paper Section III-B).
+Here we build **weakly-connected components** from scratch -- min-label
+propagation over the symmetrized edge set -- as an `AlgorithmSpec`, run
+it on the cycle-level system, and verify against networkx.
+
+Run:  python examples/custom_algorithm.py
+"""
+
+import networkx as nx
+import numpy as np
+
+from repro.accel import AcceleratorSystem, named_architectures
+from repro.accel.template import AlgorithmSpec
+from repro.graph import Graph
+from repro.graph.generators import social_graph
+
+
+def weakly_connected_spec():
+    """Min-label propagation; pair with a symmetrized graph for WCC."""
+    return AlgorithmSpec(
+        name="wcc",
+        weighted=False,
+        use_local_src=True,    # BRAM and DRAM share the uint32 format
+        always_active=False,   # converge via active-source tracking
+        synchronous=False,     # asynchronous: updates visible in-iteration
+        gather_latency=1,      # combinational integer min
+        use_const=False,
+        node_bytes=4,
+        init=lambda c, v: v,
+        gather=lambda u, v, w: min(u, v),
+        apply=lambda v, c, base: v,
+        decode=int,
+        encode=int,
+        initial_values=lambda g: np.arange(g.n_nodes, dtype=np.uint32),
+        finalize=lambda words, g: words.copy(),
+    )
+
+
+def symmetrize(graph):
+    """Duplicate each edge in both directions (paper Section III)."""
+    return Graph(
+        graph.n_nodes,
+        np.concatenate([graph.src, graph.dst]),
+        np.concatenate([graph.dst, graph.src]),
+        name=f"{graph.name}+sym",
+    )
+
+
+def main():
+    directed = social_graph(3_000, 12_000, seed=41, name="collab")
+    graph = symmetrize(directed)
+    print(f"custom algorithm 'wcc' on {graph}")
+
+    config = named_architectures("scc", n_channels=2)["16/16 two-level"]
+    system = AcceleratorSystem(graph, weakly_connected_spec(), config)
+    result = system.run()
+    labels = result.values.astype(np.int64)
+
+    nxg = nx.Graph()
+    nxg.add_nodes_from(range(directed.n_nodes))
+    nxg.add_edges_from(zip(directed.src.tolist(), directed.dst.tolist()))
+    expected_components = list(nx.connected_components(nxg))
+
+    # Same partition: every networkx component maps to exactly one label.
+    for component in expected_components:
+        component_labels = {int(labels[v]) for v in component}
+        assert len(component_labels) == 1, "component split!"
+    assert len(np.unique(labels)) == len(expected_components)
+
+    print(f"converged in {result.iterations} sweeps at "
+          f"{result.gteps:.3f} GTEPS")
+    print(f"components: {len(expected_components)} "
+          "(matches networkx exactly)")
+    sizes = np.bincount(labels)
+    sizes = np.sort(sizes[sizes > 0])[::-1]
+    print(f"largest components: {sizes[:5].tolist()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Weighted shortest paths (SSSP) for a navigation-style workload.
+
+Builds a clustered, weighted graph (think road segments with travel
+times), computes single-source shortest paths on the accelerator, and
+validates against the Bellman-Ford reference.  SSSP exercises the
+weighted datapath: 64-bit edges, the free-ID queue and state memory of
+the MOMS interface (paper Fig. 10a), and asynchronous execution with
+active-source tracking -- later sweeps stream only the shards whose
+sources changed.
+
+Run:  python examples/road_network_routing.py
+"""
+
+import numpy as np
+
+from repro.accel import AcceleratorSystem, named_architectures
+from repro.accel.algorithms import INFINITY
+from repro.baselines.reference import reference_sssp
+from repro.graph import web_graph
+
+
+def main():
+    rng = np.random.default_rng(17)
+    graph = web_graph(n_nodes=5_000, n_edges=26_000, locality=0.9,
+                      seed=23, name="roads").with_weights(rng)
+    source = 0
+    print(f"road network: {graph}, source node {source}")
+
+    config = named_architectures("sssp", n_channels=2)["20/8 two-level"]
+    system = AcceleratorSystem(graph, "sssp", config, source=source)
+    result = system.run()
+
+    distances = result.values.astype(np.int64)
+    expected, sweeps = reference_sssp(graph, source)
+    assert np.array_equal(distances, expected), "distances diverged!"
+
+    reachable = distances < INFINITY
+    print(f"\nconverged in {result.iterations} sweeps "
+          f"(reference fixpoint: {sweeps})")
+    print(f"reachable nodes:  {reachable.sum():,} / {graph.n_nodes:,}")
+    print(f"median distance:  {np.median(distances[reachable]):.0f}")
+    print(f"farthest node:    {int(np.argmax(np.where(reachable, distances, -1)))} "
+          f"at distance {distances[reachable].max()}")
+    print(f"throughput:       {result.gteps:.3f} GTEPS")
+    print(f"ID-pool stalls:   {result.stats['id_stalls']:,} "
+          "(free-ID queue backpressure, paper Fig. 10a)")
+    print(f"local BRAM reads: {result.stats['local_reads']:,} "
+          "(use_local_src short-circuits same-interval sources)")
+
+    # Active-source tracking means later sweeps stream fewer edges.
+    total_possible = graph.n_edges * result.iterations
+    print(f"edges processed:  {result.edges_processed:,} of "
+          f"{total_possible:,} worst-case "
+          f"({result.edges_processed / total_possible:.0%})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Social-network analysis on the accelerator.
+
+The scenario from the paper's introduction: a large, skewed,
+badly-labeled social graph (a scaled twitter_rv stand-in) on which
+classic caches thrash.  We:
+
+1. find influence communities with min-label propagation (the paper's
+   SCC kernel),
+2. rank users with PageRank,
+3. show what DBG reordering buys on a graph whose labeling destroys
+   communities (paper Fig. 13's point),
+
+validating every result against software references.
+
+Run:  python examples/social_network_analysis.py
+"""
+
+import numpy as np
+
+from repro.accel import AcceleratorSystem, named_architectures
+from repro.baselines.reference import reference_min_label, reference_pagerank
+from repro.graph.datasets import load_benchmark
+
+
+def main():
+    graph = load_benchmark("RV", shrink=6)  # twitter_rv stand-in
+    print(f"social graph: {graph}")
+    degrees = graph.out_degrees()
+    print(f"degree skew: max={degrees.max()}, mean={degrees.mean():.1f} "
+          "(hubs get coalesced by the MOMS)")
+
+    config = named_architectures("scc", n_channels=2)["16/16 two-level"]
+
+    # -- communities via min-label propagation ---------------------------
+    system = AcceleratorSystem(graph, "scc", config)
+    result = system.run()
+    labels = result.values.astype(np.int64)
+    expected, _ = reference_min_label(graph)
+    assert np.array_equal(labels, expected), "accelerator diverged!"
+    n_components = len(np.unique(labels))
+    largest = np.bincount(labels).max()
+    print(f"\nlabel propagation converged in {result.iterations} sweeps "
+          f"({result.gteps:.3f} GTEPS)")
+    print(f"components: {n_components}, largest holds "
+          f"{largest / graph.n_nodes:.1%} of users")
+
+    # -- influencer ranking ----------------------------------------------
+    pr_config = named_architectures("pagerank", n_channels=2)[
+        "16/16 two-level"
+    ]
+    pr_system = AcceleratorSystem(graph, "pagerank", pr_config)
+    pr_result = pr_system.run(max_iterations=5)
+    reference = reference_pagerank(graph, 5)
+    error = np.abs(pr_result.values - reference).max() / reference.max()
+    assert error < 1e-3
+    influencers = np.argsort(pr_result.values)[-3:][::-1]
+    print(f"\nPageRank ({pr_result.gteps:.3f} GTEPS), top influencers: "
+          f"{list(influencers)}")
+
+    # -- what DBG reordering buys on scrambled labels ---------------------
+    plain = AcceleratorSystem(graph, "pagerank", pr_config,
+                              use_hashing=True, use_dbg=False)
+    r_plain = plain.run(max_iterations=2)
+    dbg = AcceleratorSystem(graph, "pagerank", pr_config,
+                            use_hashing=True, use_dbg=True)
+    r_dbg = dbg.run(max_iterations=2)
+    assert np.allclose(r_plain.values, r_dbg.values, rtol=1e-4)
+    saved = 1 - r_dbg.stats["dram_lines_single"] / \
+        r_plain.stats["dram_lines_single"]
+    print(f"\nDBG reordering packs hubs into shared cache lines: "
+          f"{r_plain.stats['dram_lines_single']:,} -> "
+          f"{r_dbg.stats['dram_lines_single']:,} DRAM lines "
+          f"({saved:.0%} less traffic; throughput "
+          f"{r_plain.gteps:.3f} -> {r_dbg.gteps:.3f} GTEPS)")
+
+
+if __name__ == "__main__":
+    main()

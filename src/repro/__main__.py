@@ -1,0 +1,67 @@
+"""Command-line entry point: run any paper experiment by name.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig11            # quick mode
+    python -m repro fig15 --full     # full scaled suite
+    python -m repro all              # everything (slow)
+"""
+
+import argparse
+import importlib
+import sys
+
+EXPERIMENTS = {
+    "fig01": "fig01_motivation",
+    "fig11": "fig11_architectures",
+    "fig12": "fig12_hitrate",
+    "fig13": "fig13_preprocessing",
+    "fig14": "fig14_channels",
+    "fig15": "fig15_cache_impact",
+    "fig16": "fig16_sota",
+    "fig17": "fig17_resources",
+    "table2": "table2_datasets",
+    "table3": "table3_preprocessing_time",
+    "ablation": "ablation_moms_sizing",
+}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Reproduce the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment key (see 'list'), or 'list'/'all'",
+    )
+    parser.add_argument(
+        "--full", action="store_true",
+        help="run the full scaled suite instead of quick mode",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for key, module in sorted(EXPERIMENTS.items()):
+            print(f"{key:10s} repro.experiments.{module}")
+        return 0
+
+    keys = (sorted(EXPERIMENTS) if args.experiment == "all"
+            else [args.experiment])
+    for key in keys:
+        if key not in EXPERIMENTS:
+            parser.error(
+                f"unknown experiment {key!r}; try 'python -m repro list'"
+            )
+        module = importlib.import_module(
+            f"repro.experiments.{EXPERIMENTS[key]}"
+        )
+        _rows, text = module.run(quick=not args.full)
+        print(text)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

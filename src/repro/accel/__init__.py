@@ -1,0 +1,29 @@
+"""The graph accelerator: programming model, PEs, scheduler, system.
+
+Implements the paper's Template 1 execution framework (Section III-B)
+on out-of-order multithreaded processing elements (Section IV-C) with
+dynamic job scheduling (Section IV-E), assembled over the MOMS
+hierarchy, burst interconnect, and DRAM substrate (Fig. 6).
+"""
+
+from repro.accel.template import AlgorithmSpec
+from repro.accel.algorithms import bfs_spec, pagerank_spec, scc_spec, sssp_spec
+from repro.accel.config import (
+    ArchitectureConfig,
+    SCALED_DEFAULTS,
+    named_architectures,
+)
+from repro.accel.system import AcceleratorSystem, RunResult
+
+__all__ = [
+    "AcceleratorSystem",
+    "AlgorithmSpec",
+    "ArchitectureConfig",
+    "RunResult",
+    "SCALED_DEFAULTS",
+    "bfs_spec",
+    "named_architectures",
+    "pagerank_spec",
+    "scc_spec",
+    "sssp_spec",
+]

@@ -1,0 +1,533 @@
+"""The processing element (paper Fig. 9 and Section IV-C/D).
+
+Each PE processes one destination-interval job at a time:
+
+1. pull a job from the scheduler;
+2. DMA the interval's initial node values (and V_const for PageRank)
+   from DRAM into BRAM -- one outstanding burst, 4 node writes/cycle;
+3. fetch the job's edge pointers, then stream the active shards'
+   compressed edges with multiple outstanding tagged bursts (beats may
+   return out of order across DRAM channels; the shard tag supplies
+   the implicit high source bits);
+4. for every edge, fetch the source value through the MOMS -- treating
+   each in-flight edge as a suspended hardware thread.  Unweighted
+   graphs use the destination offset itself as the request ID
+   (Fig. 10b: the MOMS stores the whole thread state); weighted graphs
+   allocate IDs from a free queue and park (offset, weight) in a state
+   memory (Fig. 10a).  use_local_src short-circuits sources resident
+   in the current interval to BRAM;
+5. run gather() through a pipeline of configurable depth with
+   stall-on-RAW (the 4-cycle floating-point PageRank pipeline is what
+   throttles the high-locality graphs in Fig. 11);
+6. apply() and write the interval back, then notify the scheduler.
+"""
+
+from collections import deque
+
+import numpy as np
+
+from repro.core.messages import MomsRequest
+from repro.graph.encoding import EDGE_DST_BITS, EDGE_SRC_BITS, TERMINATOR_BIT
+from repro.mem.dram import LINE_BYTES, MemRequest
+from repro.sim import Component
+
+IDLE = "idle"
+INIT_CONST = "init_const"
+INIT_VIN = "init_vin"
+POINTERS = "pointers"
+STREAM = "stream"
+WRITEBACK = "writeback"
+
+_SRC_MASK = (1 << EDGE_SRC_BITS) - 1
+_DST_MASK = (1 << EDGE_DST_BITS) - 1
+
+
+class BurstRequester:
+    """Issues (possibly channel-spanning) bursts into per-channel ports."""
+
+    def __init__(self, mem, channel_ports, respond_to):
+        self.mem = mem
+        self.channel_ports = channel_ports
+        self.respond_to = respond_to
+
+    def can_issue(self, addr, nbytes, is_write=False):
+        needed = {}
+        probe_data = np.zeros(nbytes, dtype=np.uint8) if is_write else None
+        for channel, _piece in self.mem.split_burst(
+            MemRequest(addr=addr, nbytes=nbytes, kind="burst",
+                       is_write=is_write, data=probe_data)
+        ):
+            needed[channel] = needed.get(channel, 0) + 1
+        for channel, count in needed.items():
+            if not self.channel_ports[channel].can_push_n(count):
+                return False
+        return True
+
+    def beats_for(self, addr, nbytes):
+        """Total response beats a read burst will produce.
+
+        A burst split across interleave granules yields one piece per
+        channel, and an unaligned piece rounds up to whole lines -- the
+        sum can exceed ceil(nbytes / 64).
+        """
+        pieces = self.mem.split_burst(
+            MemRequest(addr=addr, nbytes=nbytes, kind="burst")
+        )
+        return sum(-(-piece.nbytes // LINE_BYTES) for _, piece in pieces)
+
+    def issue(self, addr, nbytes, tag, is_write=False, data=None):
+        request = MemRequest(
+            addr=addr, nbytes=nbytes, kind="burst", is_write=is_write,
+            tag=tag, respond_to=self.respond_to, data=data,
+        )
+        pieces = self.mem.split_burst(request)
+        for channel, piece in pieces:
+            self.channel_ports[channel].push(piece)
+        return len(pieces)
+
+
+class PEStats:
+    def __init__(self):
+        self.edges_processed = 0
+        self.raw_stalls = 0
+        self.moms_request_stalls = 0
+        self.id_stalls = 0
+        self.jobs_completed = 0
+        self.local_reads = 0
+        self.moms_reads = 0
+        self.busy_cycles = 0
+        self.cycles_by_phase = {}
+
+    def note_phase(self, phase):
+        self.cycles_by_phase[phase] = self.cycles_by_phase.get(phase, 0) + 1
+
+
+class ProcessingElement(Component):
+    """One out-of-order multithreaded PE."""
+
+    def __init__(self, pe_index, spec, layout, mem, config,
+                 moms_req, moms_resp, burst_ports, dma_resp,
+                 job_channel, done_channel):
+        self.pe_index = pe_index
+        self.spec = spec
+        self.layout = layout
+        self.mem = mem
+        self.config = config
+        self.moms_req = moms_req
+        self.moms_resp = moms_resp
+        self.dma = BurstRequester(mem, burst_ports, dma_resp)
+        self.dma_resp = dma_resp
+        self.job_channel = job_channel
+        self.done_channel = done_channel
+        self.stats = PEStats()
+
+        part = layout.partitioning
+        self._nd = part.n_dst
+        self._ns = part.n_src
+        self._bram = np.zeros(self._nd, dtype=np.float64)
+        self._const_bram = np.zeros(self._nd, dtype=np.float64)
+        self._base_const = 0.0  # global scalar constant (set per run)
+
+        # Weighted-graph MOMS interface (Fig. 10a).
+        self._free_ids = deque(range(config.id_pool_size))
+        self._id_state = {}
+
+        self._phase = IDLE
+        self._job = None
+        self._engine = None
+        self._pipeline = deque()  # (commit_cycle, dst_off, new, old)
+        self._edge_queue = deque()  # (src_node, dst_off, weight)
+        self._decoded_backlog_limit = config.dma_queue_beats * 16
+        self._outstanding_moms = 0
+
+    # -- per-run configuration --------------------------------------------
+
+    def configure_run(self, base_const):
+        self._base_const = base_const
+
+    # -- main tick ----------------------------------------------------------
+
+    def tick(self, engine):
+        self._engine = engine
+        phase = self._phase
+        if phase == IDLE:
+            self._tick_idle(engine)
+        elif phase in (INIT_CONST, INIT_VIN):
+            self._tick_init(engine)
+        elif phase == POINTERS:
+            self._tick_pointers(engine)
+        elif phase == STREAM:
+            self._tick_stream(engine)
+        elif phase == WRITEBACK:
+            self._tick_writeback(engine)
+        if phase != IDLE:
+            self.stats.busy_cycles += 1
+            self.stats.note_phase(phase)
+            # A busy PE's state machine can always progress on a later
+            # cycle (e.g. phase transitions, rate budgets); never let the
+            # engine declare the system dead while a job is in flight.
+            engine.mark_active()
+
+    def is_idle(self):
+        return self._phase == IDLE
+
+    # -- idle: pull the next job ---------------------------------------------
+
+    def _tick_idle(self, engine):
+        if not self.job_channel.can_pop():
+            return
+        job = self.job_channel.pop()
+        self._job = job
+        lo, hi = self.layout.partitioning.dst_interval_bounds(job.d)
+        self._lo, self._hi = lo, hi
+        self._n_local = hi - lo
+        self._job_updated = False
+        self._edges_this_job = 0
+        if self.spec.use_const:
+            self._start_array_read(
+                INIT_CONST, self.layout.v_const_interval_addr(job.d)
+            )
+        else:
+            self._start_array_read(
+                INIT_VIN, self.layout.v_in_interval_addr(job.d)
+            )
+
+    # -- init: burst-read node arrays into BRAM -------------------------------
+
+    def _start_array_read(self, phase, base_addr):
+        self._phase = phase
+        self._rd_base = base_addr
+        self._rd_total = self._n_local * 4
+        self._rd_requested = 0
+        self._rd_received = 0
+        self._rd_burst_outstanding = 0
+        self._apply_backlog = deque()  # (start_index, words array)
+        self._applied = 0
+
+    def _tick_init(self, engine):
+        # One outstanding initialization burst at a time (Section IV-D).
+        if (
+            self._rd_burst_outstanding == 0
+            and self._rd_requested < self._rd_total
+        ):
+            nbytes = min(self.config.burst_bytes,
+                         self._rd_total - self._rd_requested)
+            addr = self._rd_base + self._rd_requested
+            if self.dma.can_issue(addr, nbytes):
+                beats = self.dma.beats_for(addr, nbytes)
+                self.dma.issue(addr, nbytes, tag=("init", self._phase))
+                self._rd_requested += nbytes
+                self._rd_burst_outstanding = beats
+        # Drain arriving beats into the apply backlog.
+        while self.dma_resp.can_pop():
+            beat = self.dma_resp.pop()
+            self._rd_burst_outstanding -= 1
+            self._rd_received += 1
+            start = (beat.addr - self._rd_base) // 4
+            count = min(16, self._n_local - start)
+            words = beat.data[:4 * count].view(np.uint32)
+            self._apply_backlog.append((start, words))
+        if self._apply_backlog:
+            engine.mark_active()  # BRAM writes advance without channel traffic
+        # Apply at the BRAM port rate (4 node writes per cycle).
+        budget = self.config.init_nodes_per_cycle
+        decode = self.spec.decode
+        init = self.spec.init
+        while budget > 0 and self._apply_backlog:
+            start, words = self._apply_backlog[0]
+            take = min(budget, len(words))
+            if self._phase == INIT_CONST:
+                for i in range(take):
+                    self._const_bram[start + i] = float(words[i])
+            else:
+                for i in range(take):
+                    index = start + i
+                    self._bram[index] = init(
+                        self._const_bram[index], decode(int(words[i]))
+                    )
+            self._applied += take
+            budget -= take
+            if take == len(words):
+                self._apply_backlog.popleft()
+            else:
+                self._apply_backlog[0] = (start + take, words[take:])
+        if self._applied == self._n_local and \
+                self._rd_requested == self._rd_total and \
+                self._rd_burst_outstanding == 0:
+            if self._phase == INIT_CONST:
+                self._start_array_read(
+                    INIT_VIN, self.layout.v_in_interval_addr(self._job.d)
+                )
+            else:
+                self._start_pointers()
+
+    # -- edge pointers ---------------------------------------------------------
+
+    def _start_pointers(self):
+        self._phase = POINTERS
+        self._ptr_beats_expected = None  # known once the burst is issued
+        self._ptr_beats_received = 0
+        self._ptr_requested = False
+
+    def _tick_pointers(self, engine):
+        part = self.layout.partitioning
+        base = self.layout.edge_ptr_addr(self._job.d, 0)
+        nbytes = part.q_src * 8
+        if not self._ptr_requested:
+            if self.dma.can_issue(base, nbytes):
+                # The pointer array is not line-aligned per job, so the
+                # beat count must come from the actual piece split.
+                self._ptr_beats_expected = self.dma.beats_for(base, nbytes)
+                self.dma.issue(base, nbytes, tag=("ptrs",))
+                self._ptr_requested = True
+            return
+        while self.dma_resp.can_pop():
+            self.dma_resp.pop()
+            self._ptr_beats_received += 1
+        if self._ptr_beats_received < self._ptr_beats_expected:
+            return
+        # Parse the pointers (bit-identical to the transferred beats).
+        shards = []
+        for s in range(part.q_src):
+            addr, count, active = self.layout.read_pointer(
+                self.mem, self._job.d, s
+            )
+            if active and count:
+                shards.append({
+                    "s": s,
+                    "addr": addr,
+                    "count": count,
+                    "bytes_total": self.layout.codec.shard_bytes(count),
+                    "bytes_requested": 0,
+                    "edges_decoded": 0,
+                })
+        self._shards = shards
+        self._stream_cursor = 0
+        self._bursts_outstanding = 0
+        self._beats_outstanding = 0
+        self._phase = STREAM
+
+    # -- edge streaming + gather ------------------------------------------------
+
+    def _tick_stream(self, engine):
+        self._commit_pipeline(engine)
+        self._request_edge_bursts()
+        self._decode_edge_beats()
+        gather_free = self._process_response()
+        self._process_edges(gather_free)
+        if self._stream_done():
+            self._start_writeback()
+
+    def _request_edge_bursts(self):
+        config = self.config
+        if self._bursts_outstanding >= config.max_outstanding_edge_bursts:
+            return
+        backlog = len(self._edge_queue) + self._beats_outstanding * 16
+        if backlog > self._decoded_backlog_limit:
+            return
+        while self._stream_cursor < len(self._shards):
+            shard = self._shards[self._stream_cursor]
+            if shard["bytes_requested"] >= shard["bytes_total"]:
+                self._stream_cursor += 1
+                continue
+            nbytes = min(config.burst_bytes,
+                         shard["bytes_total"] - shard["bytes_requested"])
+            addr = shard["addr"] + shard["bytes_requested"]
+            if not self.dma.can_issue(addr, nbytes):
+                return
+            # A burst spanning an interleave granule becomes one piece
+            # per channel; each piece ends with its own last-beat.
+            beats = self.dma.beats_for(addr, nbytes)
+            pieces = self.dma.issue(addr, nbytes, tag=("edges", shard["s"]))
+            shard["bytes_requested"] += nbytes
+            self._bursts_outstanding += pieces
+            self._beats_outstanding += beats
+            return  # one burst issued per cycle
+
+    def _decode_edge_beats(self):
+        # Pull up to one beat per cycle from the DMA queue (512-bit port).
+        if not self.dma_resp.can_pop():
+            return
+        beat = self.dma_resp.pop()
+        kind = beat.tag[0]
+        if kind != "edges":
+            raise AssertionError(f"unexpected DMA beat {beat.tag} in stream")
+        s = beat.tag[1]
+        if beat.last:
+            self._bursts_outstanding -= 1
+        self._beats_outstanding -= 1
+        words = beat.data.view(np.uint32)
+        weighted = self.spec.weighted
+        src_base = s * self._ns
+        shard = next(sh for sh in self._shards if sh["s"] == s)
+        if weighted:
+            edge_words = words[0::2]
+            weight_words = words[1::2]
+        else:
+            edge_words = words
+            weight_words = None
+        for i, word in enumerate(edge_words):
+            if word & TERMINATOR_BIT:
+                break
+            src_off = (int(word) >> EDGE_DST_BITS) & _SRC_MASK
+            dst_off = int(word) & _DST_MASK
+            weight = int(weight_words[i]) if weighted else 0
+            self._edge_queue.append((src_base + src_off, dst_off, weight))
+            shard["edges_decoded"] += 1
+            if shard["edges_decoded"] > shard["count"]:
+                # Padding within the final line is cut by the
+                # terminator; exceeding the count means corruption.
+                raise AssertionError("decoded more edges than the shard has")
+
+    def _raw_hazard(self, dst_off):
+        for _, entry_dst, _, _ in self._pipeline:
+            if entry_dst == dst_off:
+                return True
+        return False
+
+    def _commit_pipeline(self, engine):
+        pipeline = self._pipeline
+        while pipeline and pipeline[0][0] <= engine.now:
+            _, dst_off, new, old = pipeline.popleft()
+            self._bram[dst_off] = new
+            if self.spec.always_active or new != old:
+                self._job_updated = True
+        if pipeline:
+            engine.mark_active()  # internal state is advancing
+
+    def _enter_pipeline(self, engine, dst_off, u_value, weight):
+        old = self._bram[dst_off]
+        new = self.spec.gather(u_value, old, weight)
+        self._pipeline.append(
+            (engine.now + self.spec.gather_latency, dst_off, new, old)
+        )
+        self.stats.edges_processed += 1
+        self._edges_this_job += 1
+
+    def _process_response(self):
+        """Serve one MOMS response; returns True if the gather slot is free."""
+        if not self.moms_resp.can_pop():
+            return True
+        response = self.moms_resp.front()
+        if self.spec.weighted:
+            dst_off, weight = self._id_state[response.req_id]
+        else:
+            dst_off, weight = response.req_id, 0
+        if self._raw_hazard(dst_off):
+            self.stats.raw_stalls += 1
+            return False  # gather slot wasted on the stall
+        self.moms_resp.pop()
+        self._outstanding_moms -= 1
+        if self.spec.weighted:
+            del self._id_state[response.req_id]
+            self._free_ids.append(response.req_id)
+        word = int(response.data[:4].view(np.uint32)[0])
+        self._enter_pipeline(self._engine, dst_off, self.spec.decode(word),
+                             weight)
+        return False
+
+    def _process_edges(self, gather_free):
+        if not self._edge_queue:
+            return
+        src_node, dst_off, weight = self._edge_queue[0]
+        local = self.spec.use_local_src and self._lo <= src_node < self._hi
+        if local:
+            if not gather_free:
+                return
+            if self._raw_hazard(dst_off):
+                self.stats.raw_stalls += 1
+                return
+            self._edge_queue.popleft()
+            u_value = self._bram[src_node - self._lo]
+            self._enter_pipeline(self._engine, dst_off, u_value, weight)
+            self.stats.local_reads += 1
+            return
+        # Remote source: suspend the edge into the MOMS.
+        if not self.moms_req.can_push():
+            self.stats.moms_request_stalls += 1
+            return
+        if self.spec.weighted:
+            if not self._free_ids:
+                self.stats.id_stalls += 1
+                return
+            req_id = self._free_ids.popleft()
+            self._id_state[req_id] = (dst_off, weight)
+        else:
+            req_id = dst_off
+        self._edge_queue.popleft()
+        addr = self.layout.v_in_addr + src_node * 4
+        self.moms_req.push(
+            MomsRequest(addr=addr, size=4, req_id=req_id,
+                        port=self.pe_index)
+        )
+        self._outstanding_moms += 1
+        self.stats.moms_reads += 1
+
+    def _stream_done(self):
+        if self._bursts_outstanding or self._edge_queue or self._pipeline:
+            return False
+        if self._outstanding_moms > 0:
+            return False
+        return all(
+            sh["bytes_requested"] >= sh["bytes_total"]
+            and sh["edges_decoded"] == sh["count"]
+            for sh in self._shards
+        )
+
+    # -- writeback -----------------------------------------------------------
+
+    def _start_writeback(self):
+        self._phase = WRITEBACK
+        apply_fn = self.spec.apply
+        encode = self.spec.encode
+        words = np.zeros(self._n_local, dtype=np.uint32)
+        for i in range(self._n_local):
+            words[i] = encode(
+                apply_fn(self._bram[i], self._const_bram[i],
+                         self._base_const)
+            )
+        self._wb_words = words
+        self._wb_sent = 0
+        self._wb_acks_expected = 0
+        self._wb_acks_received = 0
+        # Model the 4-values/cycle BRAM read rate as a head start delay.
+        self._wb_ready_budget = 0
+
+    def _tick_writeback(self, engine):
+        while self.dma_resp.can_pop():
+            ack = self.dma_resp.pop()
+            if not ack.is_write_ack:
+                raise AssertionError("unexpected read beat in writeback")
+            self._wb_acks_received += 1
+        total_bytes = self._n_local * 4
+        if self._wb_sent < total_bytes:
+            engine.mark_active()  # BRAM reads advance without channel traffic
+        # The BRAM read port feeds 4 node values per cycle into the DMA.
+        self._wb_ready_budget = min(
+            self._wb_ready_budget + self.config.init_nodes_per_cycle * 4,
+            self._n_local * 4,
+        )
+        total = self._n_local * 4
+        if self._wb_sent < total:
+            ready = self._wb_ready_budget - self._wb_sent
+            nbytes = min(self.config.burst_bytes, total - self._wb_sent,
+                         ready)
+            if nbytes >= 4:
+                addr = self.layout.v_out_interval_addr(self._job.d) + \
+                    self._wb_sent
+                if self.dma.can_issue(addr, nbytes, is_write=True):
+                    data = self._wb_words.view(np.uint8)[
+                        self._wb_sent:self._wb_sent + nbytes
+                    ]
+                    pieces = self.dma.issue(addr, nbytes, tag=("wb",),
+                                            is_write=True, data=data)
+                    self._wb_acks_expected += pieces
+                    self._wb_sent += nbytes
+        if (
+            self._wb_sent == total
+            and self._wb_acks_received == self._wb_acks_expected
+        ):
+            self.done_channel.push((self._job.d, self._job_updated))
+            self.stats.jobs_completed += 1
+            self._phase = IDLE
+            self._job = None

@@ -1,0 +1,35 @@
+"""Baselines: software references and analytical competitor models.
+
+* :mod:`repro.baselines.reference` -- exact software implementations of
+  the three algorithms (and a literal Template 1 interpreter) used to
+  validate every accelerator run.
+* :mod:`repro.baselines.fabgraph` -- reconstruction of the FabGraph
+  analytical performance model the paper compares against (Figs. 14/16).
+* :mod:`repro.baselines.cpu` / :mod:`repro.baselines.gpu` -- bandwidth-
+  based cost models for Ligra/GraphMat and Gunrock with the platform
+  constants of Table IV.
+"""
+
+from repro.baselines.reference import (
+    reference_bfs,
+    reference_min_label,
+    reference_pagerank,
+    reference_sssp,
+    run_template_reference,
+)
+from repro.baselines.fabgraph import FabGraphModel
+from repro.baselines.cpu import CpuFrameworkModel, CPU_PLATFORM
+from repro.baselines.gpu import GpuFrameworkModel, GPU_PLATFORM
+
+__all__ = [
+    "CPU_PLATFORM",
+    "CpuFrameworkModel",
+    "FabGraphModel",
+    "GPU_PLATFORM",
+    "GpuFrameworkModel",
+    "reference_bfs",
+    "reference_min_label",
+    "reference_pagerank",
+    "reference_sssp",
+    "run_template_reference",
+]

@@ -1,0 +1,80 @@
+"""Reconstruction of the FabGraph analytical performance model.
+
+The paper compares against FabGraph [44] using "the theoretical model
+described by Equations (2) to (7) in the FabGraph paper", under
+optimistic assumptions: ideal DRAM bandwidth, all edges active, no SLR
+or RAW penalties.  The FabGraph equations are not reproduced in the
+paper, so this module reconstructs the model from FabGraph's
+architecture as the paper describes it:
+
+* edges are streamed once per iteration at full DRAM bandwidth;
+* source/destination vertex *tiles* move between DRAM and an on-chip
+  L2 vertex cache; the number of tile transfers is quadratic in the
+  number of intervals, i.e. proportional to ``Q * N`` vertex words per
+  iteration (the overhead the MOMS design eliminates);
+* an internal L1<->L2 path of fixed bandwidth feeds the PEs; its
+  traffic also grows with Q, and because it does not scale with DRAM
+  channels it caps multi-channel scaling (paper Section V-D).
+
+Execution time per iteration is the max of the three bound terms
+(streaming overlaps with tile transfers in FabGraph's pipeline).
+"""
+
+from dataclasses import dataclass
+
+import math
+
+
+@dataclass
+class FabGraphModel:
+    """Optimistic FabGraph throughput estimate (paper Figs. 14 and 16)."""
+
+    bram_capacity_bytes: int = 4 * 1024 * 1024  # on-chip L2 vertex budget
+    l1_capacity_bytes: int = 2 * 1024 * 1024
+    internal_bandwidth_bytes_per_s: float = 100e9  # L1<->L2, channel-count independent
+    bandwidth_per_channel_bytes_per_s: float = 16e9  # ideal, per the paper
+    edge_bytes: int = 4
+    node_bytes: int = 4
+    frequency_hz: float = 250e6
+
+    def intervals(self, n_nodes, capacity_bytes):
+        """Number of vertex intervals that fit the given budget."""
+        nodes_per_interval = max(1, capacity_bytes // (2 * self.node_bytes))
+        return max(1, math.ceil(n_nodes / nodes_per_interval))
+
+    def iteration_time_s(self, n_nodes, n_edges, n_channels=4):
+        """Seconds per full-edge-sweep iteration (all edges active)."""
+        dram_bw = n_channels * self.bandwidth_per_channel_bytes_per_s
+        q2 = self.intervals(n_nodes, self.bram_capacity_bytes)
+        q1 = self.intervals(n_nodes, self.l1_capacity_bytes)
+
+        t_edges = n_edges * self.edge_bytes / dram_bw
+        # Tile traffic: every destination pass reloads the source tiles
+        # (Q2 + 1 passes over the vertex set) plus one writeback.
+        vertex_bytes = n_nodes * self.node_bytes * (q2 + 2)
+        t_tiles = vertex_bytes / dram_bw
+        # Internal L1 refills: Q1 passes over the vertex set per sweep.
+        internal_bytes = n_nodes * self.node_bytes * q1
+        t_internal = internal_bytes / self.internal_bandwidth_bytes_per_s
+
+        return max(t_edges, t_tiles, t_internal)
+
+    def pagerank_gteps(self, n_nodes, n_edges, n_channels=4):
+        """Throughput in GTEPS for PageRank (edges always active)."""
+        t = self.iteration_time_s(n_nodes, n_edges, n_channels)
+        return n_edges / t / 1e9
+
+    def scaled(self, factor):
+        """Model with on-chip capacities scaled (simulator-scale runs)."""
+        return FabGraphModel(
+            bram_capacity_bytes=max(1024,
+                                    int(self.bram_capacity_bytes * factor)),
+            l1_capacity_bytes=max(256, int(self.l1_capacity_bytes * factor)),
+            internal_bandwidth_bytes_per_s=self.internal_bandwidth_bytes_per_s,
+            bandwidth_per_channel_bytes_per_s=(
+                self.bandwidth_per_channel_bytes_per_s
+            ),
+            edge_bytes=self.edge_bytes,
+            node_bytes=self.node_bytes,
+            frequency_hz=self.frequency_hz,
+        )

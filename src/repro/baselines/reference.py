@@ -1,0 +1,173 @@
+"""Software reference implementations used for functional validation.
+
+Two layers:
+
+* Fast vectorized references (:func:`reference_pagerank`,
+  :func:`reference_min_label`, :func:`reference_sssp`,
+  :func:`reference_bfs`) computing the mathematical fixpoint / iterate
+  each algorithm should reach.
+* A literal, scalar interpreter of Template 1
+  (:func:`run_template_reference`) that walks intervals, shards and
+  active flags exactly like the hardware, for validating the template
+  semantics themselves on small graphs.
+
+The asynchronous algorithms (min-label, SSSP, BFS) are monotone
+min-semiring computations, so any execution order converges to the
+same unique fixpoint -- which is why the out-of-order accelerator can
+be validated for exact equality against these references.
+"""
+
+import numpy as np
+
+from repro.accel.algorithms import DAMPING, INFINITY
+from repro.graph.partition import partition_edges
+
+
+def reference_pagerank(graph, n_iterations=10):
+    """Synchronous PageRank, normalized-score formulation (Table I).
+
+    Matches the accelerator's semantics: per-iteration y = d*PR/OD in
+    DRAM, no dangling-mass redistribution, sinks report the teleport
+    term.  Returns the denormalized scores.
+    """
+    n = graph.n_nodes
+    degrees = graph.out_degrees().astype(np.float64)
+    base = 0.15 / n
+    with np.errstate(divide="ignore", invalid="ignore"):
+        y = np.where(degrees > 0, DAMPING * (1.0 / n) / degrees, 0.0)
+    safe_degrees = np.where(degrees > 0, degrees, 1.0)
+    for _ in range(n_iterations):
+        accum = np.zeros(n)
+        np.add.at(accum, graph.dst, y[graph.src])
+        y = np.where(degrees > 0,
+                     DAMPING * (base + accum) / safe_degrees, 0.0)
+    # Scores corresponding to the stored y (one denormalization pass).
+    return np.where(degrees > 0, y * degrees / DAMPING, base)
+
+
+def reference_min_label(graph, max_iterations=None):
+    """Fixpoint of label = min(own, labels of in-neighbors).
+
+    Returns (labels, n_iterations_to_converge).
+    """
+    labels = np.arange(graph.n_nodes, dtype=np.int64)
+    limit = max_iterations or graph.n_nodes + 1
+    for iteration in range(1, limit + 1):
+        new = labels.copy()
+        np.minimum.at(new, graph.dst, labels[graph.src])
+        if np.array_equal(new, labels):
+            return labels, iteration
+        labels = new
+    return labels, limit
+
+
+def reference_sssp(graph, source=0, max_iterations=None):
+    """Bellman-Ford fixpoint with saturating uint32 distances.
+
+    Returns (distances int64 with INFINITY for unreachable, iterations).
+    """
+    if not graph.weighted:
+        raise ValueError("SSSP needs a weighted graph")
+    dist = np.full(graph.n_nodes, INFINITY, dtype=np.int64)
+    dist[source] = 0
+    limit = max_iterations or graph.n_nodes + 1
+    for iteration in range(1, limit + 1):
+        candidate = dist[graph.src] + graph.weights
+        np.clip(candidate, 0, INFINITY, out=candidate)
+        new = dist.copy()
+        np.minimum.at(new, graph.dst, candidate)
+        if np.array_equal(new, dist):
+            return dist, iteration
+        dist = new
+    return dist, limit
+
+
+def reference_bfs(graph, source=0, max_iterations=None):
+    """Hop distances; the unit-weight special case of SSSP."""
+    dist = np.full(graph.n_nodes, INFINITY, dtype=np.int64)
+    dist[source] = 0
+    limit = max_iterations or graph.n_nodes + 1
+    for iteration in range(1, limit + 1):
+        candidate = np.minimum(dist[graph.src] + 1, INFINITY)
+        new = dist.copy()
+        np.minimum.at(new, graph.dst, candidate)
+        if np.array_equal(new, dist):
+            return dist, iteration
+        dist = new
+    return dist, limit
+
+
+def run_template_reference(spec, graph, max_iterations=100,
+                           nodes_per_src_interval=None,
+                           nodes_per_dst_interval=None):
+    """Literal scalar interpreter of Template 1 (paper Section III-B).
+
+    Walks destination intervals and shards with active-source tracking,
+    init/gather/apply hooks, synchronous or asynchronous V arrays --
+    the same control flow the hardware follows, minus all timing.
+    Returns (host values, iterations executed).
+    """
+    ns = nodes_per_src_interval or max(1, min(graph.n_nodes, 4096))
+    nd = nodes_per_dst_interval or max(1, min(graph.n_nodes, 1024))
+    part = partition_edges(graph, ns, nd)
+    n = graph.n_nodes
+
+    v_dram_in = spec.initial_dram_image(graph).copy()
+    v_dram_out = v_dram_in.copy() if spec.synchronous else v_dram_in
+    const_words = spec.const_dram_image(graph)
+    base = spec.const_scalar(graph)
+
+    decode = spec.decode
+    encode = spec.encode
+    active_srcs = np.ones(part.q_src, dtype=bool)
+    iterations = 0
+
+    for _ in range(max_iterations):
+        iterations += 1
+        active_next = np.zeros(part.q_src, dtype=bool)
+        keep_going = False
+        for d in range(part.q_dst):
+            lo, hi = part.dst_interval_bounds(d)
+            bram = [
+                spec.init(
+                    int(const_words[i]) if const_words is not None else 0,
+                    decode(v_dram_in[i]),
+                )
+                for i in range(lo, hi)
+            ]
+            interval_updated = False
+            for s in range(part.q_src):
+                if not active_srcs[s]:
+                    continue
+                arrays = part.shard(s, d)
+                src, dst = arrays[0], arrays[1]
+                weights = arrays[2] if spec.weighted else np.zeros_like(src)
+                for e in range(len(src)):
+                    u_node = int(src[e])
+                    dst_off = int(dst[e]) - lo
+                    if spec.use_local_src and lo <= u_node < hi:
+                        u_value = bram[u_node - lo]
+                    else:
+                        u_value = decode(v_dram_in[u_node])
+                    new = spec.gather(u_value, bram[dst_off],
+                                      int(weights[e]))
+                    if new != bram[dst_off] or spec.always_active:
+                        interval_updated = True
+                        keep_going = True
+                    bram[dst_off] = new
+            for i in range(lo, hi):
+                const_c = int(const_words[i]) if const_words is not None else 0
+                v_dram_out[i] = encode(spec.apply(bram[i - lo], const_c,
+                                                  base))
+            if interval_updated:
+                # Mark the source intervals overlapping this destination
+                # interval (Template 1 line 17).
+                first = lo // ns
+                last = (hi - 1) // ns
+                active_next[first:last + 1] = True
+        if spec.synchronous:
+            v_dram_in, v_dram_out = v_dram_out, v_dram_in
+        active_srcs = active_next
+        if not spec.always_active and not keep_going:
+            break
+    return spec.finalize(v_dram_in, graph), iterations

@@ -1,0 +1,247 @@
+"""The MOMS bank pipeline.
+
+One bank owns an (optional) cache array, an MSHR file, and a subentry
+store.  Requests and responses *share a single pipeline slot per
+cycle* -- the contention the paper analyses in Section V-E: a bank that
+is busy serving the subentries of a returned line cannot accept new
+requests that cycle.
+
+Request path:  probe cache -> hit: respond.  Miss -> MSHR lookup ->
+secondary miss: append a subentry (no DRAM traffic -- throughput-wise
+as good as a hit).  Primary miss: allocate an MSHR, append the first
+subentry, and issue one line request downstream.  Any structural
+shortage (MSHR insert failure, no free subentry row, downstream full,
+response port full) stalls the head request; nothing is dropped.
+
+Response path: on line return, free the MSHR, fill the cache (if any),
+then serve the pending subentries one per cycle.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.core.cache import CacheArray
+from repro.core.messages import MomsResponse
+from repro.core.mshr import AssociativeMshrFile, CuckooMshrFile
+from repro.core.subentry import SubentryStore
+from repro.sim import Component
+
+
+@dataclass
+class BankParams:
+    """Structural parameters of one bank."""
+
+    n_mshrs: int = 4096
+    n_subentries: int = 32768
+    cache_lines: int = 4096
+    cache_assoc: int = 1
+    line_bytes: int = 64
+    subentry_row_size: int = 4
+    mshr_ways: int = 4
+    mshr_max_kicks: int = 16
+    associative_mshrs: bool = False  # traditional-cache mode
+    subentries_per_mshr: int = 0  # 0 = unlimited (MOMS); 8 for traditional
+
+    def build_mshr_file(self, seed=1):
+        if self.associative_mshrs:
+            return AssociativeMshrFile(self.n_mshrs)
+        return CuckooMshrFile(
+            self.n_mshrs,
+            n_ways=self.mshr_ways,
+            max_kicks=self.mshr_max_kicks,
+            seed=seed,
+        )
+
+
+@dataclass
+class BankStats:
+    requests: int = 0
+    cache_hits: int = 0
+    secondary_misses: int = 0
+    primary_misses: int = 0
+    responses: int = 0
+    lines_returned: int = 0
+    busy_cycles: int = 0
+    stall_mshr: int = 0
+    stall_subentry: int = 0
+    stall_downstream: int = 0
+    stall_response_port: int = 0
+
+    @property
+    def hit_rate(self):
+        """Cache-array hit rate (the x-axis of Fig. 12)."""
+        return self.cache_hits / self.requests if self.requests else 0.0
+
+    @property
+    def no_dram_fraction(self):
+        """Share of requests served without a new DRAM line (hits + secondary)."""
+        if not self.requests:
+            return 0.0
+        return (self.cache_hits + self.secondary_misses) / self.requests
+
+
+class MomsBank(Component):
+    """A single bank of a miss-optimized memory system.
+
+    ``req_in`` receives :class:`~repro.core.messages.MomsRequest`;
+    ``resp_out`` emits :class:`~repro.core.messages.MomsResponse`.
+    ``line_in`` receives returned lines (objects with ``addr`` and
+    ``data``) from DRAM or from a next-level MOMS.  ``downstream`` is a
+    strategy with ``can_accept(line_addr)`` / ``issue(line_addr)`` used
+    to request missing lines.
+    """
+
+    def __init__(self, params, req_in, resp_out, line_in, downstream,
+                 store, name="bank", seed=1):
+        self.params = params
+        self.req_in = req_in
+        self.resp_out = resp_out
+        self.line_in = line_in
+        self.downstream = downstream
+        self.store = store
+        self.name = name
+        self.mshrs = params.build_mshr_file(seed=seed)
+        self.subentries = SubentryStore(
+            params.n_subentries, row_size=params.subentry_row_size
+        )
+        self.cache = CacheArray(
+            params.cache_lines,
+            assoc=params.cache_assoc,
+            line_bytes=params.line_bytes,
+        )
+        self.stats = BankStats()
+        self._drain_chain = None
+        self._drain_items = None
+        self._drain_index = 0
+        self._drain_data = None
+        self._drain_base = 0
+
+    # -- simulation -------------------------------------------------------
+
+    def tick(self, engine):
+        # Hot path: direct _ready checks avoid method-call overhead on
+        # the (frequent) idle cycles.
+        if self._drain_items is not None:
+            self._drain_one()
+            self.stats.busy_cycles += 1
+            return
+        if self.line_in._ready:
+            self._begin_drain(self.line_in.pop())
+            self.stats.busy_cycles += 1
+            return
+        if self.req_in._ready:
+            if self._handle_request():
+                self.stats.busy_cycles += 1
+
+    def is_idle(self):
+        return (
+            self._drain_items is None
+            and self.mshrs.occupancy == 0
+            and not self.req_in.pending
+            and not self.line_in.pending
+        )
+
+    @property
+    def outstanding_misses(self):
+        """Lines currently in flight to memory."""
+        return self.mshrs.occupancy
+
+    # -- response path ----------------------------------------------------
+
+    def _begin_drain(self, line):
+        line_addr = line.addr // self.params.line_bytes
+        entry = self.mshrs.remove(line_addr)
+        self.cache.fill(line_addr)
+        self.stats.lines_returned += 1
+        self._drain_chain = entry.subentry_head
+        self._drain_items = list(
+            self.subentries.chain_items(entry.subentry_head)
+        )
+        self._drain_index = 0
+        self._drain_data = line.data
+        self._drain_base = line.addr
+
+    def _drain_one(self):
+        if not self.resp_out.can_push():
+            self.stats.stall_response_port += 1
+            return
+        req_id, port, offset, size = self._drain_items[self._drain_index]
+        self.resp_out.push(
+            MomsResponse(
+                req_id=req_id,
+                addr=self._drain_base + offset,
+                data=self._drain_data[offset:offset + size],
+                port=port,
+            )
+        )
+        self.stats.responses += 1
+        self._drain_index += 1
+        if self._drain_index == len(self._drain_items):
+            self.subentries.free_chain(self._drain_chain)
+            self._drain_chain = None
+            self._drain_items = None
+            self._drain_data = None
+
+    # -- request path -----------------------------------------------------
+
+    def _handle_request(self):
+        """Process the head request; returns True if it made progress."""
+        request = self.req_in.front()
+        line_bytes = self.params.line_bytes
+        line_addr = request.addr // line_bytes
+        offset = request.addr - line_addr * line_bytes
+
+        if self.cache.probe(line_addr):
+            if not self.resp_out.can_push():
+                self.stats.stall_response_port += 1
+                return False
+            self.req_in.pop()
+            self.resp_out.push(
+                MomsResponse(
+                    req_id=request.req_id,
+                    addr=request.addr,
+                    data=self.store.read_bytes(request.addr, request.size),
+                    port=request.port,
+                )
+            )
+            self.stats.requests += 1
+            self.stats.cache_hits += 1
+            self.stats.responses += 1
+            return True
+
+        subentry = (request.req_id, request.port, offset, request.size)
+        entry = self.mshrs.lookup(line_addr)
+        if entry is not None:
+            limit = self.params.subentries_per_mshr
+            if limit and entry.subentry_count >= limit:
+                self.stats.stall_subentry += 1
+                return False
+            if not self.subentries.append(entry.subentry_head, subentry):
+                self.stats.stall_subentry += 1
+                return False
+            entry.subentry_count += 1
+            self.req_in.pop()
+            self.stats.requests += 1
+            self.stats.secondary_misses += 1
+            return True
+
+        # Primary miss: all three structures must have room before any
+        # side effect happens, so a stalled request retries cleanly.
+        if not self.downstream.can_accept(line_addr):
+            self.stats.stall_downstream += 1
+            return False
+        new_entry = self.mshrs.insert(line_addr)
+        if new_entry is None:
+            self.stats.stall_mshr += 1
+            return False
+        chain = self.subentries.new_chain()
+        if not self.subentries.append(chain, subentry):
+            self.mshrs.remove(line_addr)
+            self.stats.stall_subentry += 1
+            return False
+        new_entry.subentry_head = chain
+        new_entry.subentry_count = 1
+        self.downstream.issue(line_addr)
+        self.req_in.pop()
+        self.stats.requests += 1
+        self.stats.primary_misses += 1
+        return True

@@ -1,0 +1,29 @@
+"""Request/response tokens exchanged between PEs and memory systems."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class MomsRequest:
+    """A short irregular read (a node value, or a full line at L2).
+
+    ``req_id`` is opaque to the memory system and returned verbatim --
+    the PE uses it to recover the suspended edge state (Fig. 10); for
+    unweighted graphs it *is* the destination-node offset.  ``port``
+    identifies the requester for response routing.
+    """
+
+    addr: int
+    size: int
+    req_id: object = None
+    port: int = 0
+
+
+@dataclass
+class MomsResponse:
+    """Data for one request: the ``size`` bytes at ``addr``."""
+
+    req_id: object
+    addr: int
+    data: object  # numpy uint8 slice of length `size`
+    port: int = 0

@@ -1,0 +1,198 @@
+"""Miss status holding register (MSHR) files.
+
+Two implementations:
+
+* :class:`CuckooMshrFile` -- the paper's RAM-backed file: thousands of
+  entries, looked up by cuckoo hashing over d ways instead of a fully
+  associative CAM, so it maps onto ordinary BRAM.  An insertion can
+  fail after a bounded kick chain; the bank then stalls and retries,
+  which is the paper's behaviour under extreme occupancy.
+* :class:`AssociativeMshrFile` -- the classic small fully-associative
+  file (16 entries in the paper's traditional-cache baseline); misses
+  block as soon as it fills, which is exactly why traditional
+  non-blocking caches throttle irregular workloads.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class MshrEntry:
+    """State of one outstanding cache line."""
+
+    line_addr: int
+    subentry_head: object = None
+    subentry_count: int = 0
+
+
+@dataclass
+class MshrStats:
+    lookups: int = 0
+    hits: int = 0
+    inserts: int = 0
+    insert_failures: int = 0
+    kicks: int = 0
+    peak_occupancy: int = 0
+
+
+class CuckooMshrFile:
+    """d-way cuckoo hash table of MSHR entries, BRAM-style.
+
+    ``capacity`` slots are split into ``n_ways`` tables.  Lookup probes
+    one slot per way; insert kicks resident entries along a bounded
+    chain and reports failure (-> pipeline stall) if the chain exceeds
+    ``max_kicks``, mirroring the FPGA implementation in the paper's
+    prior work.
+    """
+
+    def __init__(self, capacity, n_ways=4, max_kicks=16, seed=1):
+        if capacity < n_ways:
+            raise ValueError("capacity must be at least n_ways")
+        self.n_ways = n_ways
+        self.way_size = max(1, capacity // n_ways)
+        self.capacity = self.way_size * n_ways
+        self.max_kicks = max_kicks
+        self._tables = [[None] * self.way_size for _ in range(n_ways)]
+        # Odd multipliers for multiply-shift hashing, seeded deterministically.
+        rng_state = seed * 2654435761 % (1 << 32) or 1
+        self._multipliers = []
+        for _ in range(n_ways):
+            rng_state = (rng_state * 6364136223846793005 + 1442695040888963407) % (1 << 64)
+            self._multipliers.append((rng_state >> 16) | 1)
+        self._victim_state = rng_state ^ 0x9E3779B97F4A7C15
+        self.occupancy = 0
+        self.stats = MshrStats()
+
+    def _slot(self, way, line_addr):
+        # splitmix64-style finalizer: full avalanche even for small,
+        # sequential line addresses (a plain multiply stays too linear
+        # and caps the achievable cuckoo load factor).
+        mask = (1 << 64) - 1
+        h = (line_addr + self._multipliers[way]) & mask
+        h = ((h ^ (h >> 30)) * 0xBF58476D1CE4E5B9) & mask
+        h = ((h ^ (h >> 27)) * 0x94D049BB133111EB) & mask
+        h ^= h >> 31
+        return h % self.way_size
+
+    def lookup(self, line_addr):
+        """Return the entry for *line_addr* or None."""
+        self.stats.lookups += 1
+        for way in range(self.n_ways):
+            entry = self._tables[way][self._slot(way, line_addr)]
+            if entry is not None and entry.line_addr == line_addr:
+                self.stats.hits += 1
+                return entry
+        return None
+
+    def insert(self, line_addr):
+        """Allocate an entry; returns it, or None on cuckoo failure.
+
+        The caller must have checked that no entry for *line_addr*
+        exists (a lookup always precedes insertion in the bank pipeline).
+        """
+        entry = MshrEntry(line_addr)
+        carried = entry
+        path = []  # (way, slot) of every displacement, for exact unwind
+        for kick in range(self.max_kicks + 1):
+            # First look for any empty slot among the d candidate ways.
+            placed = False
+            for way in range(self.n_ways):
+                slot = self._slot(way, carried.line_addr)
+                if self._tables[way][slot] is None:
+                    self._tables[way][slot] = carried
+                    placed = True
+                    break
+            if placed:
+                self.occupancy += 1
+                self.stats.inserts += 1
+                self.stats.kicks += kick
+                if self.occupancy > self.stats.peak_occupancy:
+                    self.stats.peak_occupancy = self.occupancy
+                return entry
+            # All full: displace a pseudo-randomly chosen victim way so
+            # kick chains explore the table instead of looping.
+            self._victim_state = (
+                self._victim_state * 6364136223846793005 + 1442695040888963407
+            ) % (1 << 64)
+            way = (self._victim_state >> 33) % self.n_ways
+            slot = self._slot(way, carried.line_addr)
+            resident = self._tables[way][slot]
+            self._tables[way][slot] = carried
+            path.append((way, slot))
+            carried = resident
+        # Kick chain too long: unwind the displacements in reverse so the
+        # table is exactly as before (hardware bounds speculative kicks
+        # the same way).
+        for way, slot in reversed(path):
+            displaced = self._tables[way][slot]
+            self._tables[way][slot] = carried
+            carried = displaced
+        assert carried is entry
+        self.stats.insert_failures += 1
+        return None
+
+    def remove(self, line_addr):
+        """Free the entry for *line_addr* (line returned and drained)."""
+        for way in range(self.n_ways):
+            slot = self._slot(way, line_addr)
+            entry = self._tables[way][slot]
+            if entry is not None and entry.line_addr == line_addr:
+                self._tables[way][slot] = None
+                self.occupancy -= 1
+                return entry
+        raise KeyError(f"no MSHR for line {line_addr:#x}")
+
+    @property
+    def load_factor(self):
+        return self.occupancy / self.capacity
+
+    def entries(self):
+        """All live entries (diagnostics / invariant checks)."""
+        for table in self._tables:
+            for entry in table:
+                if entry is not None:
+                    yield entry
+
+
+class AssociativeMshrFile:
+    """Small fully-associative MSHR file (traditional cache baseline)."""
+
+    def __init__(self, capacity=16):
+        if capacity < 1:
+            raise ValueError("need at least one MSHR")
+        self.capacity = capacity
+        self._entries = {}
+        self.stats = MshrStats()
+
+    def lookup(self, line_addr):
+        self.stats.lookups += 1
+        entry = self._entries.get(line_addr)
+        if entry is not None:
+            self.stats.hits += 1
+        return entry
+
+    def insert(self, line_addr):
+        """Allocate an entry, or None when the file is full (-> block)."""
+        if len(self._entries) >= self.capacity:
+            self.stats.insert_failures += 1
+            return None
+        entry = MshrEntry(line_addr)
+        self._entries[line_addr] = entry
+        self.stats.inserts += 1
+        if len(self._entries) > self.stats.peak_occupancy:
+            self.stats.peak_occupancy = len(self._entries)
+        return entry
+
+    def remove(self, line_addr):
+        return self._entries.pop(line_addr)
+
+    @property
+    def occupancy(self):
+        return len(self._entries)
+
+    @property
+    def load_factor(self):
+        return len(self._entries) / self.capacity
+
+    def entries(self):
+        return iter(list(self._entries.values()))

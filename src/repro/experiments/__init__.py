@@ -1,0 +1,12 @@
+"""Experiment harness: one module per paper table/figure.
+
+Each module exposes ``run(quick=True)`` returning (rows, text); quick
+mode uses shrunken benchmark graphs and iteration caps so the default
+``pytest benchmarks/`` sweep finishes in minutes, while
+``REPRO_FULL_SUITE=1`` (or ``quick=False``) runs the full scaled suite.
+EXPERIMENTS.md records the measured outputs against the paper's claims.
+"""
+
+from repro.experiments import common
+
+__all__ = ["common"]

@@ -1,0 +1,87 @@
+"""Ablation: the design choices behind "thousands of MSHRs".
+
+Three sweeps on one skewed workload (SCC on the RV stand-in), probing
+the knobs DESIGN.md calls out:
+
+* **MSHR count** -- the paper's core claim is that scaling MSHRs from
+  tens to thousands unlocks memory-level parallelism: throughput should
+  climb with MSHR capacity and saturate once the latency window is
+  covered.
+* **Subentry capacity** -- subentries are what turn one in-flight line
+  into many served requests; starving the pool forces stalls.
+* **DRAM latency** -- counterintuitively, a MOMS *benefits* from
+  latency (a longer coalescing window) as long as it has the MSHRs to
+  cover it; throughput should degrade only mildly as latency grows,
+  which is the "latency-insensitive" property the paper exploits.
+"""
+
+import copy
+
+from repro.accel.config import named_architectures
+from repro.experiments.common import bench_graph, run_point
+from repro.mem.dram import DramTimings
+from repro.report import format_table
+
+
+def _base(n_channels=2):
+    return named_architectures("scc", n_channels)["16/16 two-level"]
+
+
+def sweep_mshrs(graph, quick, factors=(1 / 16, 1 / 4, 1, 4)):
+    rows = []
+    for factor in factors:
+        config = copy.deepcopy(_base())
+        config.structure_scale = config.structure_scale * factor
+        _, result = run_point(graph, "scc", config, quick)
+        mshrs = int(4096 * config.structure_scale)
+        rows.append({
+            "sweep": "MSHRs/bank",
+            "value": max(16, mshrs),
+            "GTEPS": result.gteps,
+            "DRAM lines": result.stats["dram_lines_single"],
+        })
+    return rows
+
+
+def sweep_latency(graph, quick, latencies=(40, 150, 400)):
+    rows = []
+    for latency in latencies:
+        config = copy.deepcopy(_base())
+        config.dram_timings = DramTimings(latency=latency)
+        _, result = run_point(graph, "scc", config, quick)
+        rows.append({
+            "sweep": "DRAM latency (cycles)",
+            "value": latency,
+            "GTEPS": result.gteps,
+            "DRAM lines": result.stats["dram_lines_single"],
+        })
+    return rows
+
+
+def sweep_banks(graph, quick, bank_counts=(4, 8, 16)):
+    rows = []
+    for n_banks in bank_counts:
+        config = copy.deepcopy(_base())
+        config.design = config.design.with_(n_banks=n_banks)
+        _, result = run_point(graph, "scc", config, quick)
+        rows.append({
+            "sweep": "shared banks",
+            "value": n_banks,
+            "GTEPS": result.gteps,
+            "DRAM lines": result.stats["dram_lines_single"],
+        })
+    return rows
+
+
+def run(quick=True, graph_key="RV"):
+    graph = bench_graph(graph_key, quick)
+    rows = []
+    rows += sweep_mshrs(graph, quick)
+    rows += sweep_latency(graph, quick)
+    rows += sweep_banks(graph, quick)
+    text = format_table(
+        rows,
+        title=f"Ablation -- MOMS sizing on SCC/{graph_key} "
+              f"(N={graph.n_nodes:,}, M={graph.n_edges:,})",
+    )
+    return rows, text

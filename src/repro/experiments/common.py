@@ -1,0 +1,55 @@
+"""Shared plumbing for the per-figure experiment modules."""
+
+import os
+
+from repro.accel.system import AcceleratorSystem
+from repro.graph.datasets import load_benchmark
+
+
+def full_suite_requested():
+    return os.environ.get("REPRO_FULL_SUITE", "") not in ("", "0")
+
+
+QUICK_SHRINK = 6
+
+
+def bench_graph(key, quick=True):
+    """Benchmark graph at bench scale (quick) or full scaled size."""
+    return load_benchmark(key, shrink=QUICK_SHRINK if quick else 1)
+
+
+def quick_benchmarks(quick=True):
+    """Default benchmark subset for quick sweeps."""
+    if quick:
+        return ("WT", "RV", "24")
+    return ("WT", "DB", "UK", "IT", "SK", "MP", "RV", "FR", "WB",
+            "24", "25", "26")
+
+
+def quick_channels(quick=True):
+    """Channel count for quick sweeps (full runs use all four)."""
+    return 2 if quick else 4
+
+
+def iteration_budget(algorithm, quick=True):
+    """Iteration caps for throughput measurements.
+
+    Throughput (GTEPS) stabilizes after a couple of sweeps, so quick
+    mode truncates convergence runs; results record processed edges.
+    """
+    if algorithm == "pagerank":
+        return 2 if quick else 10
+    return 3 if quick else None
+
+
+def run_point(graph, algorithm, config, quick=True, use_hashing=True,
+              use_dbg=False, source=0):
+    """One (graph, algorithm, architecture) measurement."""
+    system = AcceleratorSystem(
+        graph, algorithm, config, use_hashing=use_hashing, use_dbg=use_dbg,
+        source=source,
+    )
+    result = system.run(
+        max_iterations=iteration_budget(algorithm, quick)
+    )
+    return system, result

@@ -1,0 +1,60 @@
+"""Fig. 11 -- throughput across MOMS architectures and algorithms.
+
+Sweeps the named design points (shared / private / two-level /
+traditional) over the benchmark suite for PageRank, SCC and SSSP and
+reports GTEPS per (architecture, benchmark) plus geometric means.
+
+Expected shape (paper Section V-B): two-level architectures lead in
+geomean; shared-only MOMSes lose to bank conflicts; private-only and
+traditional caches stay competitive on the high-locality web crawls.
+"""
+
+from repro.accel.config import named_architectures
+from repro.experiments.common import (
+    bench_graph,
+    quick_benchmarks,
+    quick_channels,
+    run_point,
+)
+from repro.report import format_table, geomean
+
+
+QUICK_ARCHS = (
+    "16/16 shared",
+    "16 private 256k",
+    "16/16 two-level",
+    "20/8 two-level",
+    "18/16 traditional",
+)
+
+
+def run(quick=True, algorithms=("pagerank", "scc", "sssp"),
+        n_channels=None):
+    if n_channels is None:
+        n_channels = quick_channels(quick)
+    benchmarks = quick_benchmarks(quick)
+    rows = []
+    for algorithm in algorithms:
+        architectures = named_architectures(algorithm, n_channels)
+        names = QUICK_ARCHS if quick else tuple(architectures)
+        for name in names:
+            config = architectures[name]
+            gteps = {}
+            for key in benchmarks:
+                graph = bench_graph(key, quick)
+                _, result = run_point(graph, algorithm, config, quick)
+                gteps[key] = result.gteps
+            row = {"algorithm": algorithm, "architecture": name}
+            row.update({key: gteps[key] for key in benchmarks})
+            row["geomean"] = geomean(list(gteps.values()))
+            rows.append(row)
+    text = format_table(
+        rows, title="Fig. 11 -- GTEPS by architecture and benchmark"
+    )
+    return rows, text
+
+
+def best_architecture(rows, algorithm):
+    """Architecture with the highest geomean for *algorithm*."""
+    candidates = [r for r in rows if r["algorithm"] == algorithm]
+    return max(candidates, key=lambda r: r["geomean"])

@@ -1,0 +1,55 @@
+"""Fig. 12 -- SCC throughput versus cache hit rate.
+
+Runs the MOMS and traditional architectures with and without their
+cache arrays and reports (hit rate, GTEPS) pairs.  Expected shape:
+traditional caches track their hit rate (and collapse at 0 %), while
+MOMSes sit at high throughput across the hit-rate axis -- thousands of
+MSHRs replace the cache array.
+"""
+
+from repro.accel.config import named_architectures
+from repro.experiments.common import (
+    bench_graph,
+    quick_benchmarks,
+    quick_channels,
+    run_point,
+)
+from repro.report import format_table
+
+
+def cacheless(config):
+    """Copy of *config* with every cache array removed (0 % hit rate)."""
+    import copy
+
+    clone = copy.deepcopy(config)
+    clone.design = clone.design.with_(private_cache_kib=0,
+                                      shared_cache_kib=0)
+    return clone
+
+
+ARCHS = ("16/16 two-level", "16 private 256k", "18/16 traditional")
+
+
+def run(quick=True, n_channels=None):
+    if n_channels is None:
+        n_channels = quick_channels(quick)
+    benchmarks = quick_benchmarks(quick)
+    rows = []
+    for name in ARCHS:
+        base = named_architectures("scc", n_channels)[name]
+        for variant, config in (("with cache", base),
+                                ("no cache", cacheless(base))):
+            for key in benchmarks:
+                graph = bench_graph(key, quick)
+                _, result = run_point(graph, "scc", config, quick)
+                rows.append({
+                    "architecture": name,
+                    "caches": variant,
+                    "benchmark": key,
+                    "hit rate": result.hit_rate,
+                    "GTEPS": result.gteps,
+                })
+    text = format_table(
+        rows, title="Fig. 12 -- SCC throughput vs cache hit rate"
+    )
+    return rows, text

@@ -1,0 +1,49 @@
+"""Fig. 14 -- throughput scalability with DDR4 channel count.
+
+Runs the 16/16 two-level design on 1, 2 and 4 channels for PageRank
+(with the FabGraph analytical series, as the paper plots) and for SCC
+(the paper's cleanest memory-bound scaling case: constant frequency,
+no RAW stalls).  Expected shape: the memory-bound benchmarks scale
+with channels on SCC; the compute-bound ones saturate and can even
+lose a little on 4 channels through the lower clock (more SLR
+crossings); FabGraph's internal L1<->L2 bandwidth caps its scaling.
+"""
+
+from repro.accel.config import named_architectures
+from repro.baselines.fabgraph import FabGraphModel
+from repro.experiments.common import bench_graph, quick_benchmarks, run_point
+from repro.report import format_table
+
+CHANNELS = (1, 2, 4)
+
+
+def run(quick=True, arch_name="16/16 two-level"):
+    benchmarks = quick_benchmarks(quick)
+    # FabGraph capacities scaled like our structures (same factor as
+    # the benchmark graphs: ~1000x plus the bench-mode shrink).
+    fabgraph = FabGraphModel().scaled(1 / 1000 / (6 if quick else 1))
+    rows = []
+    for algorithm in ("pagerank", "scc"):
+        for key in benchmarks:
+            graph = bench_graph(key, quick)
+            row = {"algorithm": algorithm, "benchmark": key}
+            for n_channels in CHANNELS:
+                config = named_architectures(algorithm,
+                                             n_channels)[arch_name]
+                _, result = run_point(graph, algorithm, config, quick)
+                row[f"{n_channels}ch"] = result.gteps
+            if algorithm == "pagerank":
+                for n_channels in CHANNELS:
+                    row[f"FabGraph {n_channels}ch"] = fabgraph.pagerank_gteps(
+                        graph.n_nodes, graph.n_edges, n_channels
+                    )
+            row["scaling 1->4"] = (
+                row["4ch"] / row["1ch"] if row["1ch"] else 0.0
+            )
+            rows.append(row)
+    text = format_table(
+        rows,
+        title="Fig. 14 -- GTEPS vs DDR4 channels "
+              f"({arch_name}; FabGraph model on PageRank)",
+    )
+    return rows, text

@@ -1,0 +1,75 @@
+"""Fig. 15 -- impact of cache arrays on the 20/8 two-level designs.
+
+Runs SCC on the 20/8 two-level MOMS and the traditional cache with all
+four cache-array combinations (full, no private, no shared, none).
+Expected shape (paper Section V-E): removing every cache array costs
+the traditional design ~2x but the MOMS only ~10 % -- MSHRs replace
+the cache array.
+"""
+
+import copy
+
+from repro.accel.config import ArchitectureConfig, SCALED_DEFAULTS, _design
+from repro.experiments.common import (
+    bench_graph,
+    quick_benchmarks,
+    quick_channels,
+    run_point,
+)
+from repro.fabric.design import MOMS_TRADITIONAL, MOMS_TWO_LEVEL
+from repro.report import format_table, geomean
+
+# Paper: 2.5 MiB private (across 20 PEs -> 128 KiB each) and 2 MiB
+# shared (across 8 banks -> 256 KiB each).
+PRIVATE_KIB = 128
+SHARED_KIB = 256
+
+VARIANTS = (
+    ("full caches", PRIVATE_KIB, SHARED_KIB),
+    ("no private", 0, SHARED_KIB),
+    ("no shared", PRIVATE_KIB, 0),
+    ("no caches", 0, 0),
+)
+
+
+def make_config(organization, private_kib, shared_kib, n_channels):
+    return ArchitectureConfig(
+        _design(20, 8, organization, "scc", n_channels,
+                private_cache_kib=private_kib, shared_cache_kib=shared_kib),
+        **SCALED_DEFAULTS,
+    )
+
+
+def run(quick=True, n_channels=None):
+    if n_channels is None:
+        n_channels = quick_channels(quick)
+    benchmarks = quick_benchmarks(quick)
+    rows = []
+    for organization, label in ((MOMS_TWO_LEVEL, "20/8 two-level MOMS"),
+                                (MOMS_TRADITIONAL, "20/8 traditional")):
+        for variant, private_kib, shared_kib in VARIANTS:
+            config = make_config(organization, private_kib, shared_kib,
+                                 n_channels)
+            per_bench = {}
+            for key in benchmarks:
+                graph = bench_graph(key, quick)
+                _, result = run_point(graph, "scc", config, quick)
+                per_bench[key] = result.gteps
+            row = {"architecture": label, "caches": variant}
+            row.update(per_bench)
+            row["geomean"] = geomean(list(per_bench.values()))
+            rows.append(row)
+    # Relative drop without any cache arrays.
+    for label in ("20/8 two-level MOMS", "20/8 traditional"):
+        full = next(r for r in rows
+                    if r["architecture"] == label
+                    and r["caches"] == "full caches")["geomean"]
+        none = next(r for r in rows
+                    if r["architecture"] == label
+                    and r["caches"] == "no caches")["geomean"]
+        for r in rows:
+            if r["architecture"] == label and r["caches"] == "no caches":
+                r["drop vs full"] = full / none if none else float("inf")
+    text = format_table(rows, title="Fig. 15 -- SCC GTEPS with/without "
+                                    "cache arrays (20/8 designs)")
+    return rows, text

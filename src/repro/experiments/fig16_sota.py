@@ -1,0 +1,83 @@
+"""Fig. 16 + Table IV -- comparison with the state of the art.
+
+Our best generic architecture versus the FabGraph, Ligra, GraphMat and
+Gunrock cost models, per benchmark and algorithm, in absolute GTEPS,
+bandwidth efficiency (GTEPS per GB/s) and power efficiency (GTEPS/W),
+using the platform constants of Table IV.  The GPU rows include the
+16 GB capacity check on the *paper-scale* graph sizes (only the five
+smallest benchmarks fit, as the paper reports).
+"""
+
+from repro.accel.config import named_architectures
+from repro.baselines.cpu import graphmat_model, ligra_model
+from repro.baselines.fabgraph import FabGraphModel
+from repro.baselines.gpu import GpuFrameworkModel
+from repro.experiments.common import (
+    bench_graph,
+    quick_benchmarks,
+    quick_channels,
+    run_point,
+)
+from repro.graph.datasets import BENCHMARKS
+from repro.report import format_table
+
+FPGA_POWER_W = 23.0  # Table IV
+FPGA_BANDWIDTH_GB_S = 64.0
+
+
+def run(quick=True, algorithms=("pagerank", "scc", "sssp"),
+        arch_name="16/16 two-level", n_channels=None):
+    if n_channels is None:
+        n_channels = quick_channels(quick)
+    benchmarks = quick_benchmarks(quick)
+    fabgraph = FabGraphModel().scaled(1 / 1000 / (6 if quick else 1))
+    ligra = ligra_model()
+    graphmat = graphmat_model()
+    gunrock = GpuFrameworkModel()
+    rows = []
+    for algorithm in algorithms:
+        config = named_architectures(algorithm, n_channels)[arch_name]
+        for key in benchmarks:
+            graph = bench_graph(key, quick)
+            spec = BENCHMARKS[key]
+            _, result = run_point(graph, algorithm, config, quick)
+            gpu_fits = gunrock.fits_in_memory(
+                spec.paper_n, spec.paper_m, weighted=algorithm == "sssp"
+            )
+            row = {
+                "algorithm": algorithm,
+                "benchmark": key,
+                "ours GTEPS": result.gteps,
+                "Ligra": ligra.gteps(graph, algorithm),
+                "GraphMat": graphmat.gteps(graph, algorithm),
+                "Gunrock": (gunrock.gteps(graph, algorithm)
+                            if gpu_fits else 0.0),
+                "Gunrock fits": gpu_fits,
+                "ours GTEPS/GBps": result.gteps / FPGA_BANDWIDTH_GB_S,
+                "Ligra GTEPS/GBps": ligra.bandwidth_efficiency(
+                    graph, algorithm),
+                "ours GTEPS/W": result.gteps / FPGA_POWER_W,
+                "Ligra GTEPS/W": ligra.power_efficiency(graph, algorithm),
+            }
+            if algorithm == "pagerank":
+                row["FabGraph"] = fabgraph.pagerank_gteps(
+                    graph.n_nodes, graph.n_edges, n_channels
+                )
+            rows.append(row)
+    text = format_table(
+        rows, title="Fig. 16 -- comparison with CPU/GPU/FPGA baselines "
+                    "(Table IV platform constants)"
+    )
+    return rows, text
+
+
+def table4_rows():
+    """Table IV: platform bandwidth and power."""
+    return [
+        {"platform": "This work / FabGraph (FPGA)",
+         "ext. bandwidth": "64 GB/s", "power": "23 W"},
+        {"platform": "Gunrock (GPU V100)",
+         "ext. bandwidth": "900 GB/s", "power": "300 W (TDP, whole board)"},
+        {"platform": "Ligra / GraphMat (2x Xeon)",
+         "ext. bandwidth": "233 GB/s", "power": "224 W"},
+    ]

@@ -1,0 +1,46 @@
+"""Fig. 17 -- resource utilization of the top designs.
+
+Reports the analytical area model's LUT/FF/BRAM/URAM/DSP utilization
+(relative to the shell-free area, as the paper does) plus the modeled
+operating frequency for the best architecture of each application.
+Expected shape: LUTs dominated by interconnect, BRAM/URAM split between
+PEs and MOMSes, DSPs underutilized even for floating-point PageRank,
+frequencies between 185 and 250 MHz.
+"""
+
+from repro.accel.config import named_architectures
+from repro.fabric.area import AreaModel
+from repro.fabric.frequency import FrequencyModel
+from repro.report import format_table
+
+TOP_DESIGNS = (
+    ("pagerank", "16/16 two-level"),
+    ("pagerank", "18/16 two-level 64k"),
+    ("scc", "16/16 two-level"),
+    ("scc", "16 private 256k"),
+    ("sssp", "20/8 two-level"),
+    ("sssp", "16/16 two-level"),
+)
+
+
+def run(quick=True, n_channels=4):
+    area = AreaModel()
+    freq = FrequencyModel(area)
+    rows = []
+    for algorithm, arch_name in TOP_DESIGNS:
+        config = named_architectures(algorithm, n_channels)[arch_name]
+        util = area.utilization(config.design)
+        rows.append({
+            "design": f"{algorithm} {arch_name}",
+            "LUT %": 100 * util["LUT"],
+            "FF %": 100 * util["FF"],
+            "BRAM %": 100 * util["BRAM"],
+            "URAM %": 100 * util["URAM"],
+            "DSP %": 100 * util["DSP"],
+            "freq MHz": freq.frequency_mhz(config.design),
+            "meets timing": freq.meets_timing(config.design),
+        })
+    text = format_table(rows, title="Fig. 17 -- resource utilization and "
+                                    "frequency of top designs",
+                        floatfmt="{:.1f}")
+    return rows, text

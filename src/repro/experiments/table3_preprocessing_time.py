@@ -1,0 +1,48 @@
+"""Table III -- preprocessing wall time (partitioning, hashing, DBG).
+
+Measures this library's numpy preprocessing on the scaled suite.  The
+paper's point is relative: all steps are linear (or better) in the
+graph size, DBG is the cheapest, and everything besides partitioning
+is optional.
+"""
+
+import time
+
+from repro.graph.datasets import BENCHMARKS, load_benchmark
+from repro.graph.partition import partition_edges
+from repro.graph.reorder import dbg_reorder, hash_cache_lines
+from repro.report import format_table
+
+
+def run(quick=True, nodes_per_src_interval=1024,
+        nodes_per_dst_interval=256):
+    shrink = 6 if quick else 1
+    rows = []
+    for key in BENCHMARKS:
+        graph = load_benchmark(key, shrink=shrink)
+
+        start = time.perf_counter()
+        partition_edges(graph, nodes_per_src_interval,
+                        nodes_per_dst_interval)
+        t_partition = time.perf_counter() - start
+
+        start = time.perf_counter()
+        permutation = hash_cache_lines(graph.n_nodes,
+                                       nodes_per_dst_interval)
+        graph.relabel(permutation)
+        t_hash = time.perf_counter() - start
+
+        start = time.perf_counter()
+        dbg_reorder(graph)
+        t_dbg = time.perf_counter() - start
+
+        rows.append({
+            "benchmark": key,
+            "M": graph.n_edges,
+            "partitioning (s)": t_partition,
+            "hashing (s)": t_hash,
+            "DBG (s)": t_dbg,
+        })
+    text = format_table(rows, title="Table III -- preprocessing time",
+                        floatfmt="{:.4f}")
+    return rows, text

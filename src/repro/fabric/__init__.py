@@ -1,0 +1,28 @@
+"""Multi-die FPGA fabric model.
+
+Models the aspects of a 3-SLR Virtex UltraScale+ part that shape the
+paper's results: registered die crossings (Fig. 5), per-die two-stage
+interconnects (Fig. 7), an SLR floorplan that pins DRAM controllers and
+distributes PEs (Section V-A), and analytical frequency and area models
+standing in for Vivado's place-and-route reports (Figs. 11 and 17).
+"""
+
+from repro.fabric.arbiter import RoundRobinArbiter
+from repro.fabric.crossbar import Crossbar
+from repro.fabric.crossing import CROSSING_LATENCY, DieCrossing
+from repro.fabric.floorplan import AWS_F1_FLOORPLAN, Floorplan
+from repro.fabric.frequency import FrequencyModel
+from repro.fabric.area import AreaModel, ResourceVector, VU9P_CAPACITY
+
+__all__ = [
+    "AWS_F1_FLOORPLAN",
+    "AreaModel",
+    "CROSSING_LATENCY",
+    "Crossbar",
+    "DieCrossing",
+    "Floorplan",
+    "FrequencyModel",
+    "ResourceVector",
+    "RoundRobinArbiter",
+    "VU9P_CAPACITY",
+]

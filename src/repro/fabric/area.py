@@ -1,0 +1,249 @@
+"""Analytical resource (area) model standing in for Vivado reports.
+
+Estimates LUT/FF/BRAM36/URAM/DSP usage per component from its
+structural parameters, then aggregates per SLR through the floorplan.
+Constants are calibrated to the qualitative picture of paper Fig. 17:
+LUTs concentrate in the interconnect, BRAM/URAM split between PEs and
+MOMSes, DSPs underutilized even for floating-point PageRank.
+"""
+
+from dataclasses import dataclass
+
+from repro.fabric.design import DesignDescription
+from repro.fabric.floorplan import AWS_F1_FLOORPLAN
+
+BRAM36_BITS = 36 * 1024
+URAM_BITS = 288 * 1024
+
+
+@dataclass(frozen=True)
+class ResourceVector:
+    """One point in (LUT, FF, BRAM36, URAM, DSP) space."""
+
+    lut: float = 0.0
+    ff: float = 0.0
+    bram: float = 0.0
+    uram: float = 0.0
+    dsp: float = 0.0
+
+    def __add__(self, other):
+        return ResourceVector(
+            self.lut + other.lut,
+            self.ff + other.ff,
+            self.bram + other.bram,
+            self.uram + other.uram,
+            self.dsp + other.dsp,
+        )
+
+    def scaled(self, factor):
+        return ResourceVector(
+            self.lut * factor,
+            self.ff * factor,
+            self.bram * factor,
+            self.uram * factor,
+            self.dsp * factor,
+        )
+
+    def as_dict(self):
+        return {
+            "LUT": self.lut,
+            "FF": self.ff,
+            "BRAM": self.bram,
+            "URAM": self.uram,
+            "DSP": self.dsp,
+        }
+
+
+# Whole-device capacity of the VU9P on AWS f1 (three SLRs).
+VU9P_CAPACITY = ResourceVector(
+    lut=1_182_000, ff=2_364_000, bram=2_160, uram=960, dsp=6_840
+)
+
+
+def _brams_for(bits):
+    return max(1.0, bits / BRAM36_BITS)
+
+
+def _urams_for(bits):
+    return max(1.0, bits / URAM_BITS)
+
+
+class AreaModel:
+    """Estimates resources for one design point on a floorplan."""
+
+    def __init__(self, floorplan=AWS_F1_FLOORPLAN):
+        self.floorplan = floorplan
+
+    # -- per-component estimators ----------------------------------------
+
+    def pe(self, design):
+        """One processing element: DMA, MOMS interface, gather, BRAM."""
+        node_bits = design.node_bits
+        dest_buffer_bits = design.nodes_per_interval * node_bits
+        control = ResourceVector(lut=3_000, ff=4_500, bram=2)
+        dest_buffer = ResourceVector(uram=_urams_for(dest_buffer_bits))
+        if design.algorithm == "pagerank":
+            # HLS floating-point accumulate: DSP-based, 4-cycle pipeline.
+            gather = ResourceVector(lut=900, ff=1_800, dsp=3)
+        else:
+            # Combinational integer min / min-plus.
+            gather = ResourceVector(lut=250, ff=300)
+        interface = ResourceVector(lut=800, ff=1_200)
+        if design.weighted:
+            # Free-ID queue + state memory (8,192 slots, Fig. 10a).
+            state_bits = 8_192 * (15 + 8 + design.node_bits)
+            interface = interface + ResourceVector(
+                lut=400, ff=600, bram=_brams_for(state_bits)
+            )
+        return control + dest_buffer + gather + interface
+
+    def moms_bank(self, mshrs, subentries, cache_kib, request_width=64):
+        """One MOMS bank: cuckoo MSHRs (BRAM), subentries + cache (URAM)."""
+        mshr_bits = mshrs * 64  # tag + pointer + status per entry
+        subentry_bits = subentries * 24  # ID + offset + next-row link
+        cache_bits = cache_kib * 1024 * 8
+        pipeline = ResourceVector(
+            lut=4_000 + 12 * request_width, ff=6_000 + 16 * request_width
+        )
+        return pipeline + ResourceVector(
+            bram=_brams_for(mshr_bits),
+            uram=_urams_for(subentry_bits)
+            + (_urams_for(cache_bits) if cache_kib else 0.0),
+        )
+
+    def traditional_cache_unit(self, design, cache_kib):
+        """A classic non-blocking cache: small associative MSHR file."""
+        mshr_bits = (
+            design.traditional_mshrs
+            * design.traditional_subentries_per_mshr
+            * 32
+        )
+        cache_bits = cache_kib * 1024 * 8
+        return ResourceVector(
+            lut=2_500,
+            ff=3_000,
+            bram=_brams_for(mshr_bits),
+            uram=_urams_for(cache_bits) if cache_kib else 0.0,
+        )
+
+    def crossbar(self, n_in, n_out, width_bits):
+        """Mux/demux fabric: LUT cost grows with ports x width."""
+        muxing = 0.55 * n_in * n_out * width_bits / 8
+        return ResourceVector(
+            lut=2_000 + muxing,
+            ff=1_500 + 0.8 * muxing,
+        )
+
+    def crossing_buffers(self, n_signals_kbits):
+        """Register stages + skid buffers on SLR boundaries."""
+        return ResourceVector(ff=2.2 * n_signals_kbits * 1000 / 8,
+                              lut=0.3 * n_signals_kbits * 1000 / 8)
+
+    # -- whole-design aggregation ----------------------------------------
+
+    def design_total(self, design):
+        """Total resource vector for *design*, by structural accounting."""
+        total = ResourceVector(lut=12_000, ff=18_000)  # scheduler + control
+        total = total + self.pe(design).scaled(design.n_pes)
+
+        if design.organization == "traditional":
+            total = total + self.traditional_cache_unit(
+                design, design.private_cache_kib
+            ).scaled(design.n_pes)
+            total = total + self.traditional_cache_unit(
+                design, design.shared_cache_kib
+            ).scaled(design.n_banks)
+        else:
+            if design.has_private_level:
+                total = total + self.moms_bank(
+                    design.private_mshrs,
+                    design.private_subentries,
+                    design.private_cache_kib,
+                ).scaled(design.n_pes)
+            if design.has_shared_level:
+                total = total + self.moms_bank(
+                    design.shared_mshrs,
+                    design.shared_subentries,
+                    design.shared_cache_kib,
+                ).scaled(design.n_banks)
+
+        # Interconnect: burst read/write crossbars PEs x channels, plus the
+        # MOMS request/response crossbars PEs x banks when shared.
+        total = total + self.crossbar(design.n_pes, design.n_channels, 512)
+        total = total + self.crossbar(design.n_channels, design.n_pes, 512)
+        if design.has_shared_level:
+            width = 64 if design.organization == "two-level" else 96
+            total = total + self.crossbar(design.n_pes, design.n_banks, width)
+            total = total + self.crossbar(design.n_banks, design.n_pes, width)
+
+        total = total + self.crossing_buffers(self.crossing_kbits(design))
+        return total
+
+    def crossing_kbits(self, design):
+        """Total kilobits of signals crossing SLR boundaries.
+
+        Derived from the floorplan: PE <-> channel burst paths, PE <->
+        shared-crossbar MOMS paths, and crossbar <-> bank paths.
+        """
+        plan = self.floorplan
+        pe_dies = plan.assign_pes(design.n_pes)
+        kbits = 0.0
+        for die in pe_dies:
+            for channel in range(design.n_channels):
+                # Each PE's burst path needs crossbar wiring to every die
+                # hosting a channel it can address (512-bit bus).
+                hops = plan.hops(die, plan.die_of_channel(channel))
+                kbits += hops * 0.512
+            if design.has_shared_level:
+                width = 0.064 if design.organization == "two-level" else 0.096
+                kbits += plan.hops(die, plan.crossbar_die) * width * 2
+        if design.has_shared_level:
+            for bank in range(design.n_banks):
+                hops = plan.hops(
+                    plan.crossbar_die,
+                    plan.die_of_bank(bank, design.n_banks, design.n_channels),
+                )
+                kbits += hops * 0.128
+        return kbits
+
+    def utilization(self, design, capacity=VU9P_CAPACITY):
+        """Fraction of each device resource used (shell area excluded).
+
+        Mirrors Fig. 17's reporting: utilization relative to the area
+        not occupied by the shell.
+        """
+        plan = self.floorplan
+        shell_free = sum(
+            (1.0 - reserved) / plan.n_dies for reserved in plan.shell_reserved
+        )
+        total = self.design_total(design)
+        available = capacity.scaled(shell_free)
+        return {
+            "LUT": total.lut / available.lut,
+            "FF": total.ff / available.ff,
+            "BRAM": total.bram / available.bram,
+            "URAM": total.uram / available.uram,
+            "DSP": total.dsp / available.dsp if available.dsp else 0.0,
+        }
+
+    def per_slr_utilization(self, design, capacity=VU9P_CAPACITY):
+        """Worst-SLR LUT utilization, the main routability driver."""
+        plan = self.floorplan
+        total = self.design_total(design)
+        pe_dies = plan.assign_pes(design.n_pes)
+        per_die_weight = [
+            pe_dies.count(die) / design.n_pes for die in range(plan.n_dies)
+        ]
+        # The shared crossbar and its banks weight the central die extra.
+        if design.has_shared_level:
+            boost = 0.12
+            per_die_weight = [
+                w * (1 - boost) + (boost if die == plan.crossbar_die else 0.0)
+                for die, w in enumerate(per_die_weight)
+            ]
+        slr_capacity = capacity.lut / plan.n_dies
+        utils = []
+        for die, weight in enumerate(per_die_weight):
+            free = slr_capacity * (1.0 - plan.shell_reserved[die])
+            utils.append(total.lut * weight / free)
+        return max(utils)

@@ -1,0 +1,74 @@
+"""SLR floorplan of the target FPGA (paper Section V-A).
+
+The AWS f1 Virtex UltraScale+ part spans three dies (SLRs).  The shell
+occupies 25-35 % of the bottom and central SLRs; the central SLR hosts
+two DDR4 controllers and the outer SLRs one each.  PEs are spread
+30/15/55 % across bottom/central/top, the shared MOMS crossbar sits on
+the central SLR, and each MOMS bank is placed on the die of its DRAM
+channel so bank-to-controller links never cross dies.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Floorplan:
+    """Static die assignment used to derive crossing counts and latency."""
+
+    n_dies: int = 3
+    channel_die: tuple = (0, 1, 1, 2)
+    pe_fraction: tuple = (0.30, 0.15, 0.55)
+    shell_reserved: tuple = (0.30, 0.30, 0.0)
+    crossbar_die: int = 1
+
+    def __post_init__(self):
+        if len(self.pe_fraction) != self.n_dies:
+            raise ValueError("pe_fraction must have one entry per die")
+        if len(self.shell_reserved) != self.n_dies:
+            raise ValueError("shell_reserved must have one entry per die")
+        if abs(sum(self.pe_fraction) - 1.0) > 1e-9:
+            raise ValueError("pe_fraction must sum to 1")
+        if any(die >= self.n_dies for die in self.channel_die):
+            raise ValueError("channel assigned to a nonexistent die")
+
+    def die_of_channel(self, channel):
+        """Die hosting DRAM channel *channel*."""
+        return self.channel_die[channel]
+
+    def die_of_bank(self, bank, n_banks, n_channels):
+        """Die of a shared MOMS bank (same die as its DRAM channel).
+
+        Banks are statically bound to channels round-robin, so bank b of
+        B banks over C channels serves channel b*C//B.
+        """
+        channel = bank * n_channels // n_banks
+        return self.die_of_channel(channel)
+
+    def assign_pes(self, n_pes):
+        """Distribute *n_pes* across dies by pe_fraction (largest remainder).
+
+        Returns a list: die index per PE, PEs on the same die contiguous.
+        """
+        if n_pes < 1:
+            raise ValueError("need at least one PE")
+        exact = [f * n_pes for f in self.pe_fraction]
+        counts = [int(x) for x in exact]
+        remainders = sorted(
+            range(self.n_dies), key=lambda d: exact[d] - counts[d],
+            reverse=True,
+        )
+        for die in remainders:
+            if sum(counts) == n_pes:
+                break
+            counts[die] += 1
+        assignment = []
+        for die, count in enumerate(counts):
+            assignment.extend([die] * count)
+        return assignment
+
+    def hops(self, die_a, die_b):
+        """SLR boundaries crossed between two dies (dies form a stack)."""
+        return abs(die_a - die_b)
+
+
+AWS_F1_FLOORPLAN = Floorplan()

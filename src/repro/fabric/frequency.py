@@ -1,0 +1,45 @@
+"""Analytical operating-frequency model.
+
+Stands in for place-and-route: the achievable clock starts at the
+250 MHz target and degrades with (1) worst-SLR logic utilization --
+congested dies route badly -- and (2) the amount of signal crossing SLR
+boundaries.  Calibrated so the paper's design points land in their
+reported 185-250 MHz window: large 4-channel two-level PageRank systems
+around 196-210 MHz, SCC systems around 227 MHz, small single-die
+designs at the 250 MHz target.  Designs below MIN_FREQ_MHZ are the ones
+the paper discards in its design-space exploration (Section V-B).
+"""
+
+from repro.fabric.area import AreaModel
+
+TARGET_FREQ_MHZ = 250.0
+MIN_FREQ_MHZ = 185.0
+
+
+class FrequencyModel:
+    """Deterministic clock estimate for a design point."""
+
+    def __init__(self, area_model=None, util_knee=0.55, util_slope=95.0,
+                 crossing_slope=1.5):
+        self.area_model = area_model or AreaModel()
+        self.util_knee = util_knee
+        self.util_slope = util_slope
+        self.crossing_slope = crossing_slope
+
+    def frequency_mhz(self, design):
+        """Achievable clock in MHz for *design*."""
+        worst_util = self.area_model.per_slr_utilization(design)
+        crossing_kbits = self.area_model.crossing_kbits(design)
+        penalty = 0.0
+        if worst_util > self.util_knee:
+            penalty += self.util_slope * (worst_util - self.util_knee)
+        penalty += self.crossing_slope * crossing_kbits
+        # Weighted PEs add the free-ID queue / state-memory paths that the
+        # paper reports as frequency-limiting for SSSP.
+        if design.weighted:
+            penalty += 4.0
+        return max(80.0, TARGET_FREQ_MHZ - penalty)
+
+    def meets_timing(self, design):
+        """True if the paper's DSE would keep this design (>= 185 MHz)."""
+        return self.frequency_mhz(design) >= MIN_FREQ_MHZ

@@ -1,0 +1,43 @@
+"""Graph substrate: representation, generation, partitioning, encoding.
+
+Everything the accelerator consumes: COO graphs (Section III-C),
+interval-based Qs x Qd shard partitioning (Fig. 3), the 32-bit
+compressed edge encoding with terminating edges and the 64-bit edge
+pointer array (Fig. 4), node reordering (cache-line hashing and DBG,
+Section IV-E), the full DRAM memory layout, and the synthetic stand-in
+suite for the paper's Table II benchmarks.
+"""
+
+from repro.graph.coo import Graph
+from repro.graph.generators import rmat_graph, social_graph, web_graph
+from repro.graph.partition import Partitioning, partition_edges
+from repro.graph.encoding import (
+    EDGE_DST_BITS,
+    EDGE_SRC_BITS,
+    EdgeCodec,
+    pack_edge_pointer,
+    unpack_edge_pointer,
+)
+from repro.graph.reorder import dbg_reorder, hash_cache_lines, identity_order
+from repro.graph.layout import GraphLayout
+from repro.graph.datasets import BENCHMARKS, load_benchmark
+
+__all__ = [
+    "BENCHMARKS",
+    "EDGE_DST_BITS",
+    "EDGE_SRC_BITS",
+    "EdgeCodec",
+    "Graph",
+    "GraphLayout",
+    "Partitioning",
+    "dbg_reorder",
+    "hash_cache_lines",
+    "identity_order",
+    "load_benchmark",
+    "pack_edge_pointer",
+    "partition_edges",
+    "rmat_graph",
+    "social_graph",
+    "unpack_edge_pointer",
+    "web_graph",
+]

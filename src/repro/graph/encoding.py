@@ -1,0 +1,131 @@
+"""Compressed edge encoding and edge pointers (paper Section III-C).
+
+Within a shard the high bits of both endpoints are implicit, so an
+unweighted edge needs only the offsets inside its source and
+destination intervals: 16 + 15 bits, plus one isTerminatingEdge flag =
+32 bits even for graphs with tens of millions of nodes.  A special
+terminating edge closes every shard because DRAM words hold several
+edges and bursts may return out of order, so PEs cannot rely on an
+edge counter.  Weighted edges append a 32-bit weight word.
+
+Each shard also gets a 64-bit edge pointer: start address, edge count
+(used for sizing the burst reads), and the shard's active_srcs flag
+(Template 1, line 10).
+"""
+
+import numpy as np
+
+EDGE_DST_BITS = 15
+EDGE_SRC_BITS = 16
+TERMINATOR_BIT = np.uint32(1 << 31)
+
+POINTER_ADDR_BITS = 36
+POINTER_COUNT_BITS = 27
+POINTER_ACTIVE_BIT = np.uint64(1 << 63)
+
+
+class EdgeCodec:
+    """Packs/unpacks one shard's edges into 32-bit words."""
+
+    def __init__(self, nodes_per_src_interval, nodes_per_dst_interval,
+                 weighted=False):
+        if nodes_per_src_interval > 1 << EDGE_SRC_BITS:
+            raise ValueError(
+                f"source interval exceeds {EDGE_SRC_BITS}-bit offsets"
+            )
+        if nodes_per_dst_interval > 1 << EDGE_DST_BITS:
+            raise ValueError(
+                f"destination interval exceeds {EDGE_DST_BITS}-bit offsets"
+            )
+        self.n_src = nodes_per_src_interval
+        self.n_dst = nodes_per_dst_interval
+        self.weighted = weighted
+
+    @property
+    def words_per_edge(self):
+        return 2 if self.weighted else 1
+
+    def encode_shard(self, src_offsets, dst_offsets, weights=None):
+        """Encode offset arrays into words, terminator appended."""
+        src_offsets = np.asarray(src_offsets, dtype=np.uint32)
+        dst_offsets = np.asarray(dst_offsets, dtype=np.uint32)
+        if len(src_offsets) and int(src_offsets.max()) >= self.n_src:
+            raise ValueError("source offset out of interval")
+        if len(dst_offsets) and int(dst_offsets.max()) >= self.n_dst:
+            raise ValueError("destination offset out of interval")
+        edge_words = (src_offsets << EDGE_DST_BITS) | dst_offsets
+        if self.weighted:
+            if weights is None:
+                raise ValueError("weighted codec needs weights")
+            weights = np.asarray(weights, dtype=np.uint32)
+            words = np.empty(2 * len(edge_words) + 2, dtype=np.uint32)
+            words[0:-2:2] = edge_words
+            words[1:-2:2] = weights
+            words[-2] = TERMINATOR_BIT
+            words[-1] = 0
+            return words
+        return np.concatenate(
+            [edge_words, np.array([TERMINATOR_BIT], dtype=np.uint32)]
+        )
+
+    def decode_shard(self, words):
+        """Inverse of :meth:`encode_shard`; stops at the terminator.
+
+        Returns (src_offsets, dst_offsets) or (src, dst, weights).
+        Ignores any padding words after the terminator, the way a PE
+        ignores the tail of the final DRAM word.
+        """
+        words = np.asarray(words, dtype=np.uint32)
+        stride = self.words_per_edge
+        edge_words = words[0::stride]
+        terminators = np.nonzero(edge_words & TERMINATOR_BIT)[0]
+        if len(terminators) == 0:
+            raise ValueError("shard stream has no terminating edge")
+        n = int(terminators[0])
+        edge_words = edge_words[:n]
+        src = (edge_words >> EDGE_DST_BITS) & ((1 << EDGE_SRC_BITS) - 1)
+        dst = edge_words & ((1 << EDGE_DST_BITS) - 1)
+        if self.weighted:
+            weights = words[1::stride][:n]
+            return src.astype(np.int64), dst.astype(np.int64), \
+                weights.astype(np.int64)
+        return src.astype(np.int64), dst.astype(np.int64)
+
+    @staticmethod
+    def is_terminator(word):
+        return bool(np.uint32(word) & TERMINATOR_BIT)
+
+    @staticmethod
+    def decode_word(word):
+        """Decode one edge word to (src_offset, dst_offset)."""
+        word = int(word)
+        return (word >> EDGE_DST_BITS) & ((1 << EDGE_SRC_BITS) - 1), \
+            word & ((1 << EDGE_DST_BITS) - 1)
+
+    def shard_bytes(self, n_edges):
+        """Encoded size of a shard with *n_edges* edges, incl. terminator."""
+        return 4 * (self.words_per_edge * n_edges + self.words_per_edge)
+
+
+def pack_edge_pointer(addr, count, active):
+    """Pack a shard's (address, edge count, active flag) into 64 bits."""
+    if addr < 0 or addr >= 1 << POINTER_ADDR_BITS:
+        raise ValueError("address out of pointer range")
+    if count < 0 or count >= 1 << POINTER_COUNT_BITS:
+        raise ValueError("edge count out of pointer range")
+    value = np.uint64(addr) | (np.uint64(count) << np.uint64(POINTER_ADDR_BITS))
+    if active:
+        value |= POINTER_ACTIVE_BIT
+    return value
+
+
+def unpack_edge_pointer(value):
+    """Inverse of :func:`pack_edge_pointer` -> (addr, count, active)."""
+    value = np.uint64(value)
+    addr = int(value & np.uint64((1 << POINTER_ADDR_BITS) - 1))
+    count = int(
+        (value >> np.uint64(POINTER_ADDR_BITS))
+        & np.uint64((1 << POINTER_COUNT_BITS) - 1)
+    )
+    active = bool(value & POINTER_ACTIVE_BIT)
+    return addr, count, active

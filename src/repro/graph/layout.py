@@ -1,0 +1,179 @@
+"""DRAM memory layout of a partitioned graph (paper Fig. 4).
+
+The image contains, in order: the vertex arrays (V_in, optional
+V_const, and a separate V_out when execution is synchronous), the
+compressed edges organized by shard, and the 64-bit edge-pointer array.
+Every section and every shard is 64-byte aligned so burst transfers
+stay line-aligned; the per-shard terminating edge covers the tail of
+the last DRAM word.
+
+Edges are stored grouped by destination interval (all shards of one
+job are adjacent); the pointer for shard E[s->d] lives at
+``edge_ptrs_addr + (d * Qs + s) * 8`` so a PE can stream one job's
+pointers with a single burst.
+"""
+
+import numpy as np
+
+from repro.graph.encoding import (
+    EdgeCodec,
+    pack_edge_pointer,
+    unpack_edge_pointer,
+)
+
+LINE = 64
+
+
+def _align(addr, alignment=LINE):
+    return (addr + alignment - 1) // alignment * alignment
+
+
+class GraphLayout:
+    """Address map + materialization of one partitioned graph."""
+
+    def __init__(self, partitioning, node_bytes=4, use_const=False,
+                 synchronous=True, base_addr=0):
+        if node_bytes not in (4, 8):
+            raise ValueError("node values are 32 or 64 bits")
+        self.partitioning = partitioning
+        self.node_bytes = node_bytes
+        self.use_const = use_const
+        self.synchronous = synchronous
+        graph = partitioning.graph
+        self.weighted = graph.weighted
+        self.codec = EdgeCodec(partitioning.n_src, partitioning.n_dst,
+                               weighted=self.weighted)
+
+        n = graph.n_nodes
+        cursor = _align(base_addr)
+        self.v_in_addr = cursor
+        cursor = _align(cursor + n * node_bytes)
+        self.v_const_addr = None
+        if use_const:
+            self.v_const_addr = cursor
+            cursor = _align(cursor + n * 4)
+        self.v_out_addr = self.v_in_addr
+        if synchronous:
+            self.v_out_addr = cursor
+            cursor = _align(cursor + n * node_bytes)
+
+        self.edges_addr = cursor
+        self._shard_addrs = {}
+        self._shard_counts = {}
+        for d in range(partitioning.q_dst):
+            for s in range(partitioning.q_src):
+                count = partitioning.shard_size(s, d)
+                self._shard_addrs[(s, d)] = cursor
+                self._shard_counts[(s, d)] = count
+                cursor = _align(cursor + self.codec.shard_bytes(count))
+
+        self.edge_ptrs_addr = cursor
+        cursor = _align(
+            cursor + 8 * partitioning.q_src * partitioning.q_dst
+        )
+        self.end_addr = cursor
+
+    @property
+    def required_bytes(self):
+        return self.end_addr
+
+    # -- address helpers ----------------------------------------------------
+
+    def shard_addr(self, s, d):
+        return self._shard_addrs[(s, d)]
+
+    def shard_count(self, s, d):
+        return self._shard_counts[(s, d)]
+
+    def edge_ptr_addr(self, d, s):
+        q_src = self.partitioning.q_src
+        return self.edge_ptrs_addr + (d * q_src + s) * 8
+
+    def v_in_interval_addr(self, d):
+        return self.v_in_addr + d * self.partitioning.n_dst * self.node_bytes
+
+    def v_out_interval_addr(self, d):
+        return self.v_out_addr + d * self.partitioning.n_dst * self.node_bytes
+
+    def v_const_interval_addr(self, d):
+        if self.v_const_addr is None:
+            return None
+        return self.v_const_addr + d * self.partitioning.n_dst * 4
+
+    # -- materialization ----------------------------------------------------
+
+    def materialize(self, mem, v_in, v_const=None):
+        """Write node arrays, shards, and edge pointers into *mem*.
+
+        ``v_in`` (and ``v_const`` when used) are per-node arrays whose
+        raw bits are stored; pass float32 arrays for PageRank scores.
+        """
+        if self.required_bytes > mem.size_bytes:
+            raise ValueError(
+                f"graph image needs {self.required_bytes:,} bytes, memory "
+                f"has {mem.size_bytes:,}"
+            )
+        part = self.partitioning
+        graph = part.graph
+        self.write_values(mem, v_in, which="in")
+        if self.synchronous:
+            self.write_values(mem, v_in, which="out")
+        if self.use_const:
+            if v_const is None:
+                raise ValueError("layout expects a V_const array")
+            raw = np.ascontiguousarray(v_const).view(np.uint8)
+            mem.write_bytes(self.v_const_addr, raw)
+
+        for d in range(part.q_dst):
+            for s in range(part.q_src):
+                arrays = part.shard(s, d)
+                src, dst = arrays[0], arrays[1]
+                src_off = src - s * part.n_src
+                dst_off = dst - d * part.n_dst
+                weights = arrays[2] if graph.weighted else None
+                words = self.codec.encode_shard(src_off, dst_off, weights)
+                mem.write_bytes(self._shard_addrs[(s, d)],
+                                words.view(np.uint8))
+                pointer = pack_edge_pointer(
+                    self._shard_addrs[(s, d)],
+                    self._shard_counts[(s, d)],
+                    active=True,
+                )
+                mem.view_u64(self.edge_ptr_addr(d, s), 1)[0] = pointer
+
+    # -- runtime access (scheduler / host side) ------------------------------
+
+    def read_pointer(self, mem, d, s):
+        value = mem.view_u64(self.edge_ptr_addr(d, s), 1)[0]
+        return unpack_edge_pointer(value)
+
+    def set_active(self, mem, d, s, active):
+        addr, count, _ = self.read_pointer(mem, d, s)
+        mem.view_u64(self.edge_ptr_addr(d, s), 1)[0] = pack_edge_pointer(
+            addr, count, active
+        )
+
+    def _values_view(self, mem, which):
+        base = {"in": self.v_in_addr, "out": self.v_out_addr}[which]
+        n = self.partitioning.graph.n_nodes
+        if self.node_bytes == 4:
+            return mem.view_u32(base, n)
+        return mem.view_u64(base, n)
+
+    def read_values(self, mem, which="out", dtype=None):
+        """Copy of the node value array, optionally reinterpreted."""
+        values = self._values_view(mem, which).copy()
+        if dtype is not None:
+            values = values.view(dtype)
+        return values
+
+    def write_values(self, mem, values, which="in"):
+        raw = np.ascontiguousarray(values)
+        view = self._values_view(mem, which)
+        view[:] = raw.view(view.dtype)
+
+    def swap_in_out(self):
+        """Synchronous execution: exchange V_in and V_out between iterations."""
+        if not self.synchronous:
+            raise ValueError("swap only applies to synchronous layouts")
+        self.v_in_addr, self.v_out_addr = self.v_out_addr, self.v_in_addr

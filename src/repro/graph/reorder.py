@@ -1,0 +1,79 @@
+"""Node reordering (paper Section IV-E).
+
+Two orthogonal techniques, both returning permutations to feed
+:meth:`repro.graph.Graph.relabel`:
+
+* :func:`hash_cache_lines` -- keep cache lines (groups of consecutive
+  node labels) intact and hash entire lines across destination
+  intervals.  This balances in-edges per interval (job sizes) without
+  destroying the intra-line locality that drives MOMS response reuse --
+  the paper's replacement for ForeGraph/FabGraph's per-node hashing.
+* :func:`dbg_reorder` -- Faldu et al.'s degree-based grouping: coarsely
+  partition nodes into 8 groups by out-degree (hubs first), preserving
+  original order within each group.  O(N); used before cache-line
+  hashing when the input labeling does not preserve communities.
+"""
+
+import numpy as np
+
+
+def identity_order(n_nodes):
+    """The no-op permutation (baseline in Fig. 13)."""
+    return np.arange(n_nodes, dtype=np.int64)
+
+
+def hash_cache_lines(n_nodes, nodes_per_dst_interval, nodes_per_line=16,
+                     seed=11):
+    """Permutation hashing whole cache lines across destination intervals.
+
+    Lines of ``nodes_per_line`` consecutive labels are shuffled
+    (seeded), then dealt round-robin into destination intervals so
+    every interval receives an equal share of lines from all over the
+    label space.  Within a line, node order is untouched.
+    """
+    if nodes_per_dst_interval % nodes_per_line:
+        raise ValueError(
+            "destination interval must be a whole number of cache lines"
+        )
+    n_lines = -(-n_nodes // nodes_per_line)
+    rng = np.random.default_rng(seed)
+    shuffled = rng.permutation(n_lines)
+    # new_position_of_line[old_line] = index in the shuffled order
+    new_position = np.empty(n_lines, dtype=np.int64)
+    new_position[shuffled] = np.arange(n_lines)
+    nodes = np.arange(n_nodes, dtype=np.int64)
+    lines = nodes // nodes_per_line
+    offsets = nodes % nodes_per_line
+    permutation = new_position[lines] * nodes_per_line + offsets
+    # Guard: padded tail lines may exceed n_nodes; compress to a dense
+    # permutation over [0, n) while preserving order.
+    order = np.argsort(permutation, kind="stable")
+    dense = np.empty(n_nodes, dtype=np.int64)
+    dense[order] = np.arange(n_nodes)
+    return dense
+
+
+def dbg_reorder(graph, n_groups=8):
+    """Degree-based grouping permutation (Faldu et al. [19]).
+
+    Nodes are bucketed by floor(log2(out-degree + 1)) capped to
+    ``n_groups`` coarse groups, highest degree group first; original
+    order is kept inside each group (stability preserves whatever
+    locality exists).  Runs in O(N).
+    """
+    degrees = graph.out_degrees()
+    groups = np.minimum(
+        np.log2(degrees + 1).astype(np.int64), n_groups - 1
+    )
+    # Stable sort by descending group: hubs first.
+    order = np.argsort(-groups, kind="stable")
+    permutation = np.empty(graph.n_nodes, dtype=np.int64)
+    permutation[order] = np.arange(graph.n_nodes)
+    return permutation
+
+
+def compose(first, then):
+    """Permutation applying *first* and then *then*."""
+    first = np.asarray(first)
+    then = np.asarray(then)
+    return then[first]

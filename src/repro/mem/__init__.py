@@ -1,0 +1,24 @@
+"""DRAM substrate: functional backing store + timed channel models.
+
+The memory system mirrors the paper's AWS f1 setup: one to four DDR4
+channels, each with a fixed access latency and a service rate that
+depends on the request kind -- 64-byte bursts stream at full bandwidth
+(16 GB/s -> one line per cycle at 250 MHz) while single random reads
+are limited by the shell to roughly half of that (one line per two
+cycles), exactly the asymmetry the paper measured in Section V-A.
+Global addresses are interleaved across channels every 2,048 bytes.
+"""
+
+from repro.mem.dram import LINE_BYTES, DramChannel, DramTimings, MemRequest, MemResponse
+from repro.mem.interleave import AddressInterleaver
+from repro.mem.system import MemorySystem
+
+__all__ = [
+    "AddressInterleaver",
+    "DramChannel",
+    "DramTimings",
+    "LINE_BYTES",
+    "MemRequest",
+    "MemResponse",
+    "MemorySystem",
+]

@@ -1,0 +1,211 @@
+"""Timed model of one DRAM channel behind the AWS f1 shell.
+
+The model captures the two properties the paper's results hinge on:
+
+* a fixed access latency (tens of accelerator cycles), during which a
+  miss-optimized memory system accumulates secondary misses, and
+* a service rate that depends on the request kind: 64-byte *burst*
+  beats stream at one line per cycle (16 GB/s at 250 MHz) while
+  *single* random reads only achieve one line per two cycles (the
+  ~8 GB/s shell limitation measured in Section V-A).
+
+Each channel responds strictly in order; out-of-order behaviour only
+arises when a transfer is interleaved across several channels, which
+is exactly the situation the paper's PEs are designed to tolerate.
+"""
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.sim import Channel, Component
+
+LINE_BYTES = 64
+
+
+@dataclass
+class DramTimings:
+    """Latency/bandwidth parameters of one channel (in cycles).
+
+    The default latency models the AWS f1 shell's round trip (several
+    hundred ns at 250 MHz), which is what gives a MOMS its coalescing
+    window: the longer a line is in flight, the more pending misses
+    pile onto its MSHR.
+    """
+
+    latency: int = 150
+    cycles_per_beat_burst: int = 1
+    cycles_per_beat_single: int = 2
+    request_queue_depth: int = 32
+    max_deliveries_per_cycle: int = 4
+
+    def cycles_per_beat(self, kind):
+        if kind == "burst":
+            return self.cycles_per_beat_burst
+        if kind == "single":
+            return self.cycles_per_beat_single
+        raise ValueError(f"unknown request kind {kind!r}")
+
+
+@dataclass
+class MemRequest:
+    """A read or write request against the global address space.
+
+    ``respond_to`` is the channel into which response beats (or the
+    write acknowledgement) are pushed; ``tag`` is returned verbatim
+    with every response so requesters can match them.
+    """
+
+    addr: int
+    nbytes: int
+    kind: str = "burst"  # 'burst' | 'single'
+    is_write: bool = False
+    tag: object = None
+    respond_to: object = None
+    data: object = None  # numpy uint8 array for writes
+
+    def __post_init__(self):
+        if self.nbytes <= 0:
+            raise ValueError("request must cover at least one byte")
+        if self.kind not in ("burst", "single"):
+            raise ValueError(f"unknown request kind {self.kind!r}")
+        if self.is_write and self.data is None:
+            raise ValueError("write request needs data")
+
+    @property
+    def beats(self):
+        return -(-self.nbytes // LINE_BYTES)
+
+
+@dataclass
+class MemResponse:
+    """One 64-byte beat of read data, or a write acknowledgement."""
+
+    tag: object
+    addr: int
+    data: object = None
+    beat: int = 0
+    last: bool = True
+    is_write_ack: bool = False
+
+
+@dataclass
+class DramStats:
+    bytes_read: int = 0
+    bytes_written: int = 0
+    busy_cycles: int = 0
+    reads_single: int = 0
+    reads_burst: int = 0
+    writes: int = 0
+    lines_single: int = 0
+    lines_burst: int = 0
+    peak_queue: int = 0
+    extra: dict = field(default_factory=dict)
+
+
+class DramChannel(Component):
+    """One DDR4 channel: request queue, data bus, fixed-latency responses."""
+
+    def __init__(self, timings, store, name="dram"):
+        self.timings = timings
+        self.store = store
+        self.name = name
+        self.req = Channel(timings.request_queue_depth, name=f"{name}.req")
+        self._scheduled = deque()  # (ready_time, MemResponse, respond_to)
+        self._next_free = 0
+        self.stats = DramStats()
+
+    def attach(self, engine):
+        """Register this channel's FIFOs with *engine*."""
+        engine.add_channel(self.req)
+        engine.add_component(self)
+        engine.add_time_source(self)
+        return self
+
+    def tick(self, engine):
+        self._deliver(engine)
+        self._accept(engine)
+
+    def next_event_time(self):
+        """Next cycle at which a scheduled response becomes ready."""
+        if not self._scheduled:
+            return None
+        return self._scheduled[0][0]
+
+    @property
+    def pending(self):
+        """Responses scheduled but not yet delivered."""
+        return len(self._scheduled)
+
+    def _deliver(self, engine):
+        delivered = 0
+        limit = self.timings.max_deliveries_per_cycle
+        while (
+            delivered < limit
+            and self._scheduled
+            and self._scheduled[0][0] <= engine.now
+        ):
+            _, response, respond_to = self._scheduled[0]
+            if respond_to is not None:
+                if not respond_to.can_push():
+                    break  # head-of-line blocking at the requester
+                if response.data is None and not response.is_write_ack:
+                    response.data = self.store.read_bytes(
+                        response.addr, LINE_BYTES
+                    )
+                respond_to.push(response)
+            self._scheduled.popleft()
+            delivered += 1
+
+    def _accept(self, engine):
+        if not self.req.can_pop():
+            return
+        request = self.req.pop()
+        start = max(engine.now, self._next_free)
+        beats = request.beats
+        if request.is_write:
+            self.store.write_bytes(request.addr, request.data, request.nbytes)
+            service = beats * self.timings.cycles_per_beat_burst
+            self._next_free = start + service
+            self.stats.bytes_written += request.nbytes
+            self.stats.writes += 1
+            self.stats.busy_cycles += service
+            if request.respond_to is not None:
+                ack = MemResponse(
+                    tag=request.tag,
+                    addr=request.addr,
+                    is_write_ack=True,
+                )
+                self._schedule(start + service + self.timings.latency, ack,
+                               request.respond_to)
+            return
+        cpb = self.timings.cycles_per_beat(request.kind)
+        for beat in range(beats):
+            response = MemResponse(
+                tag=request.tag,
+                addr=request.addr + beat * LINE_BYTES,
+                beat=beat,
+                last=beat == beats - 1,
+            )
+            ready = start + (beat + 1) * cpb + self.timings.latency
+            self._schedule(ready, response, request.respond_to)
+        self._next_free = start + beats * cpb
+        self.stats.bytes_read += beats * LINE_BYTES
+        self.stats.busy_cycles += beats * cpb
+        if request.kind == "single":
+            self.stats.reads_single += 1
+            self.stats.lines_single += beats
+        else:
+            self.stats.reads_burst += 1
+            self.stats.lines_burst += beats
+        queue_depth = len(self.req) + len(self._scheduled)
+        if queue_depth > self.stats.peak_queue:
+            self.stats.peak_queue = queue_depth
+
+    def _schedule(self, ready_time, response, respond_to):
+        if self._scheduled and ready_time < self._scheduled[-1][0]:
+            # Constant latency and FIFO acceptance keep this monotonic.
+            raise AssertionError("DRAM response schedule went out of order")
+        self._scheduled.append((ready_time, response, respond_to))
+
+    def is_idle(self):
+        return not self._scheduled and not self.req.pending

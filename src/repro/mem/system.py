@@ -1,0 +1,113 @@
+"""Functional backing store plus the per-channel timed models.
+
+The :class:`MemorySystem` is the single source of truth for memory
+*contents* (a numpy byte array, so accelerator runs are functionally
+exact), while each :class:`DramChannel` models the *timing* of the
+channel that owns an address range under 2,048-byte interleaving.
+"""
+
+import numpy as np
+
+from repro.mem.dram import LINE_BYTES, DramChannel, DramTimings, MemRequest
+from repro.mem.interleave import AddressInterleaver
+
+
+class MemorySystem:
+    """N interleaved DRAM channels over one flat, functional store."""
+
+    def __init__(self, engine, size_bytes, n_channels=4, timings=None,
+                 granule=2048):
+        if size_bytes % LINE_BYTES:
+            raise ValueError("memory size must be a multiple of 64 bytes")
+        self.size_bytes = size_bytes
+        self.timings = timings or DramTimings()
+        self.interleaver = AddressInterleaver(n_channels, granule)
+        self._buf = np.zeros(size_bytes, dtype=np.uint8)
+        self.channels = [
+            DramChannel(self.timings, self, name=f"dram{i}").attach(engine)
+            for i in range(n_channels)
+        ]
+
+    @property
+    def n_channels(self):
+        return len(self.channels)
+
+    # -- functional access ------------------------------------------------
+
+    def read_bytes(self, addr, nbytes):
+        """Copy of [addr, addr+nbytes); used by channels at delivery time."""
+        return self._buf[addr:addr + nbytes].copy()
+
+    def write_bytes(self, addr, data, nbytes=None):
+        data = np.asarray(data, dtype=np.uint8)
+        n = len(data) if nbytes is None else min(nbytes, len(data))
+        self._buf[addr:addr + n] = data[:n]
+
+    def view_u32(self, addr, count):
+        """Mutable uint32 view of *count* words at 4-aligned *addr*."""
+        if addr % 4:
+            raise ValueError("unaligned u32 access")
+        return self._buf.view(np.uint32)[addr // 4:addr // 4 + count]
+
+    def view_f32(self, addr, count):
+        """Mutable float32 view of *count* words at 4-aligned *addr*."""
+        if addr % 4:
+            raise ValueError("unaligned f32 access")
+        return self._buf.view(np.float32)[addr // 4:addr // 4 + count]
+
+    def view_u64(self, addr, count):
+        """Mutable uint64 view of *count* words at 8-aligned *addr*."""
+        if addr % 8:
+            raise ValueError("unaligned u64 access")
+        return self._buf.view(np.uint64)[addr // 8:addr // 8 + count]
+
+    # -- timed access -----------------------------------------------------
+
+    def channel_of(self, addr):
+        """Index of the channel owning global byte address *addr*."""
+        return self.interleaver.channel_of(addr)
+
+    def split_burst(self, request):
+        """Split a global burst into per-channel sub-requests.
+
+        Each piece keeps the parent's tag and respond_to; pieces never
+        cross an interleaving granule so each lands on one channel.
+        Returns a list of (channel_index, MemRequest) pairs.
+        """
+        pieces = []
+        for channel, _local, nbytes, global_addr in self.interleaver.split(
+            request.addr, request.nbytes
+        ):
+            offset = global_addr - request.addr
+            piece_data = None
+            if request.is_write:
+                piece_data = np.asarray(request.data, dtype=np.uint8)[
+                    offset:offset + nbytes
+                ]
+            pieces.append(
+                (
+                    channel,
+                    MemRequest(
+                        addr=global_addr,
+                        nbytes=nbytes,
+                        kind=request.kind,
+                        is_write=request.is_write,
+                        tag=request.tag,
+                        respond_to=request.respond_to,
+                        data=piece_data,
+                    ),
+                )
+            )
+        return pieces
+
+    # -- statistics ---------------------------------------------------------
+
+    def total_bytes_read(self):
+        return sum(ch.stats.bytes_read for ch in self.channels)
+
+    def total_bytes_written(self):
+        return sum(ch.stats.bytes_written for ch in self.channels)
+
+    def reset_stats(self):
+        for channel in self.channels:
+            channel.stats.__init__()

@@ -1,0 +1,48 @@
+"""Plain-text table rendering for experiment results.
+
+Every experiment returns a list of row dicts; this module renders them
+the way the paper's tables/figures would read in a terminal, and the
+benchmark harness prints them under pytest-benchmark.
+"""
+
+
+def format_table(rows, columns=None, title=None, floatfmt="{:.3f}"):
+    """Render a list of dicts as an aligned text table."""
+    if not rows:
+        return f"{title or 'table'}: (no rows)"
+    if columns is None:
+        columns = []
+        for row in rows:
+            for key in row:
+                if key not in columns:
+                    columns.append(key)
+
+    def cell(value):
+        if isinstance(value, float):
+            return floatfmt.format(value)
+        return str(value)
+
+    table = [[cell(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in table))
+        for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for line in table:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def geomean(values):
+    """Geometric mean, ignoring non-positive entries."""
+    import math
+
+    positive = [v for v in values if v > 0]
+    if not positive:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in positive) / len(positive))

@@ -1,0 +1,21 @@
+"""Cycle-level simulation kernel.
+
+The kernel models synchronous hardware: components are ticked once per
+clock cycle and exchange tokens over capacity-limited :class:`Channel`
+objects whose pushes become visible on the *next* cycle (registered-FIFO
+semantics), which makes results independent of component tick order.
+:class:`DelayLine` models fixed-latency pipes (e.g. DRAM access latency)
+and drives the engine's idle fast-forward so cycles in which every
+component is stalled on a pending latency are skipped in O(1).
+"""
+
+from repro.sim.channel import Channel, DelayLine
+from repro.sim.engine import Component, DeadlockError, Engine
+
+__all__ = [
+    "Channel",
+    "Component",
+    "DeadlockError",
+    "DelayLine",
+    "Engine",
+]

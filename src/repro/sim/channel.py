@@ -1,0 +1,166 @@
+"""FIFO channels and fixed-latency delay lines.
+
+These are the only two communication primitives in the simulator.  Both
+are *registered*: a token pushed in cycle ``t`` is first visible to the
+consumer in cycle ``t + 1`` (channel) or ``t + latency`` (delay line).
+Capacity accounting is also registered -- a slot freed by a pop in cycle
+``t`` can only be reused in cycle ``t + 1`` -- so simulation results do
+not depend on the order in which components are ticked within a cycle.
+"""
+
+from collections import deque
+
+
+class Channel:
+    """A capacity-limited FIFO with next-cycle visibility.
+
+    The producer calls :meth:`can_push` / :meth:`push`; the consumer
+    calls :meth:`can_pop` / :meth:`front` / :meth:`pop`.  The engine
+    calls :meth:`commit` at the end of every cycle to make staged pushes
+    visible and to refresh the registered occupancy used for capacity
+    checks.
+    """
+
+    def __init__(self, capacity, name=""):
+        if capacity < 1:
+            raise ValueError("channel capacity must be >= 1")
+        self.capacity = capacity
+        self.name = name
+        self._ready = deque()
+        self._staged = []
+        self._occupancy_at_cycle_start = 0
+        self._engine = None
+        self._dirty = False  # touched this cycle -> needs commit
+        # Lifetime statistics, useful for utilization reports.
+        self.total_pushed = 0
+        self.total_popped = 0
+
+    def bind(self, engine):
+        """Attach this channel to an engine (done by Engine.add_channel)."""
+        self._engine = engine
+
+    def can_push(self):
+        """True if a push this cycle would not exceed capacity."""
+        occupancy = self._occupancy_at_cycle_start + len(self._staged)
+        return occupancy < self.capacity
+
+    def can_push_n(self, n):
+        """True if *n* pushes this cycle would not exceed capacity."""
+        occupancy = self._occupancy_at_cycle_start + len(self._staged)
+        return occupancy + n <= self.capacity
+
+    def push(self, item):
+        """Stage *item*; it becomes poppable next cycle."""
+        if not self.can_push():
+            raise OverflowError(f"push to full channel {self.name!r}")
+        self._staged.append(item)
+        self.total_pushed += 1
+        engine = self._engine
+        if engine is not None:
+            engine._active = True
+            if not self._dirty:
+                self._dirty = True
+                engine._dirty_channels.append(self)
+
+    def can_pop(self):
+        """True if a token is available this cycle."""
+        return bool(self._ready)
+
+    def front(self):
+        """Peek at the next token without consuming it."""
+        return self._ready[0]
+
+    def pop(self):
+        """Consume and return the next token."""
+        item = self._ready.popleft()
+        self.total_popped += 1
+        engine = self._engine
+        if engine is not None:
+            engine._active = True
+            if not self._dirty:
+                self._dirty = True
+                engine._dirty_channels.append(self)
+        return item
+
+    def commit(self):
+        """End-of-cycle update; called by the engine on dirty channels."""
+        if self._staged:
+            self._ready.extend(self._staged)
+            self._staged.clear()
+            if self._engine is not None:
+                # Newly visible tokens enable progress next cycle even if
+                # nothing else happened; don't let the engine fast-forward
+                # or declare deadlock past them.
+                self._engine.mark_active()
+        self._occupancy_at_cycle_start = len(self._ready)
+        self._dirty = False
+
+    def __len__(self):
+        """Number of tokens currently visible to the consumer."""
+        return len(self._ready)
+
+    @property
+    def pending(self):
+        """Total tokens in flight (visible + staged)."""
+        return len(self._ready) + len(self._staged)
+
+
+class DelayLine:
+    """An unbounded pipe that delivers each token ``latency`` cycles later.
+
+    Used for memory access latency and die-crossing register stages.
+    Tokens keep FIFO order because the latency is constant.
+    """
+
+    def __init__(self, latency, name=""):
+        if latency < 1:
+            raise ValueError("delay line latency must be >= 1")
+        self.latency = latency
+        self.name = name
+        self._in_flight = deque()  # (ready_time, item)
+        self._engine = None
+        self.total_pushed = 0
+
+    def bind(self, engine):
+        self._engine = engine
+
+    def push(self, item):
+        """Insert *item*; it becomes poppable ``latency`` cycles from now."""
+        now = self._engine.now if self._engine is not None else 0
+        self._in_flight.append((now + self.latency, item))
+        self.total_pushed += 1
+        if self._engine is not None:
+            self._engine.mark_active()
+
+    def can_pop(self):
+        if not self._in_flight:
+            return False
+        now = self._engine.now if self._engine is not None else 0
+        return self._in_flight[0][0] <= now
+
+    def front(self):
+        return self._in_flight[0][1]
+
+    def pop(self):
+        if not self.can_pop():
+            raise IndexError(f"pop from not-ready delay line {self.name!r}")
+        _, item = self._in_flight.popleft()
+        if self._engine is not None:
+            self._engine.mark_active()
+        return item
+
+    def next_event_time(self):
+        """Cycle at which the head token becomes ready, or None if empty."""
+        if not self._in_flight:
+            return None
+        return self._in_flight[0][0]
+
+    def commit(self):
+        """Delay lines need no end-of-cycle action; kept for uniformity."""
+
+    def __len__(self):
+        return len(self._in_flight)
+
+    @property
+    def pending(self):
+        return len(self._in_flight)

@@ -1,0 +1,133 @@
+"""The cycle engine: ticks components, commits channels, skips idle time."""
+
+
+class DeadlockError(RuntimeError):
+    """Raised when no component can make progress but work remains."""
+
+
+class Component:
+    """Base class for everything ticked by the engine.
+
+    Subclasses override :meth:`tick`.  A component that has nothing to do
+    simply returns; the engine detects globally idle cycles through
+    channel activity and fast-forwards over them.
+    """
+
+    def tick(self, engine):
+        """Advance this component by one clock cycle."""
+        raise NotImplementedError
+
+    def is_idle(self):
+        """True if this component holds no in-progress work.
+
+        Used only for end-of-run sanity checks; the default is True so
+        purely reactive components need not override it.
+        """
+        return True
+
+
+class Engine:
+    """Drives a set of components and channels cycle by cycle.
+
+    The per-cycle order is: tick every component in registration order,
+    then commit every channel.  Registered (next-cycle) channel semantics
+    make results independent of the registration order; the fixed order
+    merely keeps arbitration deterministic.
+    """
+
+    def __init__(self):
+        self.now = 0
+        self.cycles_simulated = 0
+        self.cycles_skipped = 0
+        self._components = []
+        self._channels = []
+        self._time_sources = []
+        self._dirty_channels = []
+        self._active = False
+
+    def add_component(self, component):
+        self._components.append(component)
+        return component
+
+    def add_channel(self, channel):
+        channel.bind(self)
+        self._channels.append(channel)
+        return channel
+
+    def add_delay_line(self, line):
+        line.bind(self)
+        self._time_sources.append(line)
+        return line
+
+    def add_time_source(self, source):
+        """Register any object exposing next_event_time() and .pending.
+
+        Time sources steer idle fast-forward: when a cycle passes with
+        no channel activity the engine jumps to the earliest next event
+        among all registered sources.
+        """
+        self._time_sources.append(source)
+        return source
+
+    def mark_active(self):
+        """Called by channels on push/pop; marks the cycle as productive."""
+        self._active = True
+
+    def _step(self):
+        self._active = False
+        for component in self._components:
+            component.tick(self)
+        # Only channels touched this cycle need an end-of-cycle commit.
+        dirty = self._dirty_channels
+        if dirty:
+            self._dirty_channels = []
+            for channel in dirty:
+                channel.commit()
+        self.now += 1
+        self.cycles_simulated += 1
+
+    def _pending_work(self):
+        if any(ch.pending for ch in self._channels):
+            return True
+        if any(source.pending for source in self._time_sources):
+            return True
+        return False
+
+    def run(self, done=None, max_cycles=None):
+        """Run until *done()* is true (or until globally idle).
+
+        Returns the number of cycles elapsed during this call.  When a
+        cycle passes with no channel activity, the engine jumps directly
+        to the next delay-line event; if there is none and work is still
+        pending, the system is deadlocked and :class:`DeadlockError` is
+        raised.
+        """
+        start = self.now
+        while True:
+            if done is not None and done():
+                break
+            if max_cycles is not None and self.now - start >= max_cycles:
+                break
+            self._step()
+            if not self._active:
+                next_time = None
+                for line in self._time_sources:
+                    t = line.next_event_time()
+                    if t is not None and (next_time is None or t < next_time):
+                        next_time = t
+                if next_time is not None and next_time > self.now:
+                    self.cycles_skipped += next_time - self.now
+                    self.now = next_time
+                elif next_time is None:
+                    if done is None:
+                        break  # globally idle: nothing will ever happen
+                    if done():
+                        break
+                    if self._pending_work():
+                        raise DeadlockError(
+                            f"no progress at cycle {self.now} with work pending"
+                        )
+                    raise DeadlockError(
+                        f"run() not done at cycle {self.now} but system is idle"
+                    )
+        return self.now - start

@@ -1,0 +1,89 @@
+"""Tests for the dynamic job scheduler."""
+
+import numpy as np
+
+from repro.accel.scheduler import Job, Scheduler
+from repro.graph import Graph, partition_edges, web_graph
+from repro.sim import Channel, Engine
+
+
+def make_scheduler(n_nodes=1024, n_edges=4096, ns=256, nd=128):
+    engine = Engine()
+    graph = web_graph(n_nodes, n_edges, seed=2)
+    part = partition_edges(graph, ns, nd)
+    jobs = engine.add_channel(Channel(1, name="jobs"))
+    done = engine.add_channel(Channel(8, name="done"))
+    scheduler = engine.add_component(Scheduler(jobs, done, part))
+    return engine, scheduler, jobs, done, part
+
+
+class TestScheduler:
+    def test_first_iteration_queues_all_live_intervals(self):
+        engine, scheduler, jobs, done, part = make_scheduler()
+        queued = scheduler.start_iteration(always_active=True)
+        live = (part.shard_sizes().sum(axis=0) > 0).sum()
+        assert queued == live
+
+    def test_jobs_issued_one_per_cycle(self):
+        engine, scheduler, jobs, done, part = make_scheduler()
+        scheduler.start_iteration(always_active=True)
+        engine._step()
+        engine._step()
+        assert jobs.can_pop()
+        first = jobs.pop()
+        assert isinstance(first, Job)
+        assert scheduler.jobs_issued >= 1
+
+    def test_completion_tracking(self):
+        engine, scheduler, jobs, done, part = make_scheduler()
+        n = scheduler.start_iteration(always_active=True)
+        finished = 0
+        for _ in range(20_000):
+            engine._step()
+            while jobs.can_pop():
+                job = jobs.pop()
+                done.push((job.d, True))
+                finished += 1
+            if scheduler.iteration_done():
+                break
+        assert finished == n
+        assert scheduler.iteration_done()
+        assert scheduler.jobs_completed == n
+
+    def test_updated_flags_activate_sources(self):
+        engine, scheduler, jobs, done, part = make_scheduler()
+        scheduler.start_iteration(always_active=False)
+        # Complete every job with updated=False except interval 0.
+        for _ in range(20_000):
+            engine._step()
+            while jobs.can_pop():
+                job = jobs.pop()
+                done.push((job.d, job.d == 0))
+            if scheduler.iteration_done():
+                break
+        assert scheduler.finish_iteration()  # work remains
+        # Only the source intervals overlapping dst interval 0 active.
+        lo, hi = part.dst_interval_bounds(0)
+        expected = np.zeros(part.q_src, dtype=bool)
+        expected[lo // part.n_src:(hi - 1) // part.n_src + 1] = True
+        assert np.array_equal(scheduler.active_srcs, expected)
+
+    def test_convergence_when_nothing_updates(self):
+        engine, scheduler, jobs, done, part = make_scheduler()
+        scheduler.start_iteration(always_active=False)
+        for _ in range(20_000):
+            engine._step()
+            while jobs.can_pop():
+                done.push((jobs.pop().d, False))
+            if scheduler.iteration_done():
+                break
+        assert not scheduler.finish_iteration()
+        assert scheduler.start_iteration(always_active=False) == 0
+
+    def test_inactive_sources_skip_jobs(self):
+        engine, scheduler, jobs, done, part = make_scheduler()
+        scheduler.active_srcs[:] = False
+        scheduler.active_srcs[0] = True
+        queued = scheduler.start_iteration(always_active=False)
+        live = (part.shard_sizes()[0] > 0).sum()
+        assert queued == live

@@ -1,0 +1,121 @@
+"""Tests for the FabGraph / CPU / GPU analytical baseline models."""
+
+import pytest
+
+from repro.baselines import (
+    CPU_PLATFORM,
+    FabGraphModel,
+    GPU_PLATFORM,
+    GpuFrameworkModel,
+)
+from repro.baselines.cpu import (
+    CpuFrameworkModel,
+    graphmat_model,
+    ligra_model,
+    locality_fraction,
+)
+from repro.graph.datasets import BENCHMARKS
+from repro.graph.generators import social_graph, web_graph
+
+
+class TestFabGraphModel:
+    def test_more_channels_more_throughput_until_internal_cap(self):
+        model = FabGraphModel()
+        n, m = 40_000_000, 900_000_000
+        gteps = [model.pagerank_gteps(n, m, c) for c in (1, 2, 4)]
+        assert gteps[0] < gteps[1] <= gteps[2] * 1.001
+        # Sublinear 1 -> 4 scaling (internal L1<->L2 bandwidth cap).
+        assert gteps[2] / gteps[0] < 4.0
+
+    def test_quadratic_tile_term_hurts_large_node_sets(self):
+        model = FabGraphModel()
+        m = 500_000_000
+        small_nodes = model.pagerank_gteps(10_000_000, m, 4)
+        large_nodes = model.pagerank_gteps(120_000_000, m, 4)
+        assert large_nodes < small_nodes
+
+    def test_edges_bound_small_graphs(self):
+        model = FabGraphModel()
+        # Node set fits on chip: time == edge streaming time.
+        t = model.iteration_time_s(100_000, 10_000_000, 4)
+        assert t == pytest.approx(10_000_000 * 4 / (4 * 16e9))
+
+    def test_scaled_model_keeps_ratios(self):
+        scaled = FabGraphModel().scaled(1 / 1000)
+        assert scaled.bram_capacity_bytes < FabGraphModel().bram_capacity_bytes
+
+
+class TestCpuModels:
+    def test_locality_fraction_separates_graph_families(self):
+        web = web_graph(5000, 30000, locality=0.9, seed=1)
+        social = social_graph(5000, 30000, seed=2)
+        assert locality_fraction(web) > 0.6
+        assert locality_fraction(social) < 0.2
+
+    def test_scrambled_graphs_cost_more_bytes_per_edge(self):
+        model = ligra_model()
+        web = web_graph(5000, 30000, locality=0.9, seed=1)
+        social = social_graph(5000, 30000, seed=2)
+        assert model.bytes_per_edge(social) > model.bytes_per_edge(web)
+
+    def test_dbg_improves_cpu_model_too(self):
+        model = ligra_model()
+        social = social_graph(5000, 30000, seed=2)
+        assert model.gteps(social, with_dbg=True) > model.gteps(social)
+
+    def test_gteps_bounded_by_bandwidth(self):
+        model = graphmat_model()
+        g = web_graph(5000, 30000, seed=3)
+        gteps = model.gteps(g)
+        ceiling = CPU_PLATFORM.bandwidth_bytes_per_s / 8 / 1e9
+        assert 0 < gteps < ceiling
+
+    def test_efficiency_metrics_consistent(self):
+        model = ligra_model()
+        g = web_graph(5000, 30000, seed=3)
+        gteps = model.gteps(g)
+        assert model.bandwidth_efficiency(g) == pytest.approx(
+            gteps / (CPU_PLATFORM.bandwidth_bytes_per_s / 1e9)
+        )
+        assert model.power_efficiency(g) == pytest.approx(
+            gteps / CPU_PLATFORM.power_w
+        )
+
+    def test_sssp_costs_more_than_pagerank(self):
+        model = ligra_model()
+        g = web_graph(5000, 30000, seed=3)
+        assert model.gteps(g, "sssp") < model.gteps(g, "pagerank")
+
+
+class TestGpuModel:
+    def test_exactly_five_paper_benchmarks_fit(self):
+        """Paper: Gunrock can only run the five smallest benchmarks."""
+        model = GpuFrameworkModel()
+        fitting = [
+            key for key, spec in BENCHMARKS.items()
+            if model.fits_in_memory(spec.paper_n, spec.paper_m)
+        ]
+        assert sorted(fitting) == sorted(["WT", "DB", "UK", "24", "25"])
+
+    def test_weighted_graphs_need_more_memory(self):
+        model = GpuFrameworkModel()
+        spec = BENCHMARKS["UK"]
+        assert model.fits_in_memory(spec.paper_n, spec.paper_m)
+        # SSSP weights push UK over the edge? (not necessarily; at
+        # least never *increase* feasibility)
+        unweighted = model.fits_in_memory(spec.paper_n, spec.paper_m)
+        weighted = model.fits_in_memory(spec.paper_n, spec.paper_m,
+                                        weighted=True)
+        assert not (weighted and not unweighted)
+
+    def test_sssp_frontier_advantage(self):
+        """Gunrock's per-node frontier makes SSSP its best kernel."""
+        model = GpuFrameworkModel()
+        g = web_graph(5000, 30000, seed=3)
+        assert model.gteps(g, "sssp") > model.gteps(g, "pagerank")
+
+    def test_platform_constants_match_table4(self):
+        assert GPU_PLATFORM.bandwidth_bytes_per_s == 900e9
+        assert GPU_PLATFORM.power_w == 300.0
+        assert CPU_PLATFORM.bandwidth_bytes_per_s == 233e9
+        assert CPU_PLATFORM.power_w == 224.0

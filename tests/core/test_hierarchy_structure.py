@@ -1,0 +1,92 @@
+"""Structural tests: scaled sizes, floorplan crossings, bank params."""
+
+from repro.core.hierarchy import HierarchySizes
+from repro.fabric import AWS_F1_FLOORPLAN
+from repro.fabric.design import (
+    MOMS_TRADITIONAL,
+    MOMS_TWO_LEVEL,
+    DesignDescription,
+)
+from repro.mem import MemorySystem
+from repro.core import build_hierarchy
+from repro.sim import Engine
+
+
+def design(**kwargs):
+    defaults = dict(n_pes=8, n_banks=8, organization=MOMS_TWO_LEVEL,
+                    n_channels=4)
+    defaults.update(kwargs)
+    return DesignDescription(**defaults)
+
+
+class TestHierarchySizes:
+    def test_full_scale_matches_paper(self):
+        sizes = HierarchySizes.from_design(design(), scale=1.0,
+                                           cache_scale=1.0)
+        assert sizes.shared.n_mshrs == 4096
+        assert sizes.shared.n_subentries == 32768
+        assert sizes.shared.cache_lines == 256 * 1024 // 64
+        assert sizes.private.n_subentries == 49152
+
+    def test_scale_preserves_subentry_to_mshr_ratio(self):
+        full = HierarchySizes.from_design(design(), scale=1.0)
+        scaled = HierarchySizes.from_design(design(), scale=1 / 64)
+        ratio_full = full.shared.n_subentries / full.shared.n_mshrs
+        ratio_scaled = scaled.shared.n_subentries / scaled.shared.n_mshrs
+        assert ratio_scaled == ratio_full
+
+    def test_cache_scaled_harder_than_mshrs(self):
+        scaled = HierarchySizes.from_design(design(), scale=1 / 64)
+        # Default cache_scale = scale / 8.
+        assert scaled.shared.cache_lines == int(
+            256 * 1024 // 64 / 64 / 8
+        )
+
+    def test_traditional_sizes_not_scaled(self):
+        sizes = HierarchySizes.from_design(
+            design(organization=MOMS_TRADITIONAL), scale=1 / 64
+        )
+        assert sizes.shared.n_mshrs == 16
+        assert sizes.shared.subentries_per_mshr == 8
+        assert sizes.shared.associative_mshrs
+        assert sizes.private.n_mshrs == 16
+
+    def test_private_cache_associativity(self):
+        sizes = HierarchySizes.from_design(
+            design(private_cache_kib=256), scale=1.0, cache_scale=1.0
+        )
+        assert sizes.private.cache_assoc == 4
+        assert sizes.private.cache_lines % 4 == 0
+
+
+class TestFloorplanWiring:
+    def build(self, organization, floorplan):
+        engine = Engine()
+        mem = MemorySystem(engine, 1 << 18, n_channels=4)
+        hierarchy = build_hierarchy(
+            engine, mem, design(organization=organization),
+            scale=1 / 64, floorplan=floorplan,
+        )
+        return engine, hierarchy
+
+    def test_floorplan_adds_crossings(self):
+        flat_engine, _ = self.build(MOMS_TWO_LEVEL, None)
+        plan_engine, _ = self.build(MOMS_TWO_LEVEL, AWS_F1_FLOORPLAN)
+        # Die crossings materialize as extra components.
+        assert len(plan_engine._components) > len(flat_engine._components)
+
+    def test_shared_banks_bound_to_one_channel(self):
+        _, hierarchy = self.build(MOMS_TWO_LEVEL, AWS_F1_FLOORPLAN)
+        for bank in hierarchy.shared_banks:
+            ports = bank.downstream.request_ports
+            live = [p for p in ports if p is not None]
+            assert len(live) == 1
+
+    def test_bank_die_matches_channel_die(self):
+        _, hierarchy = self.build(MOMS_TWO_LEVEL, AWS_F1_FLOORPLAN)
+        plan = AWS_F1_FLOORPLAN
+        n_banks = hierarchy.design.n_banks
+        for b in range(n_banks):
+            bank_die = plan.die_of_bank(b, n_banks, 4)
+            channel = b * 4 // n_banks
+            assert bank_die == plan.die_of_channel(channel)

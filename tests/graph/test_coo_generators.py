@@ -1,0 +1,113 @@
+"""Tests for the COO graph type and the synthetic generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, rmat_graph, social_graph, web_graph
+from repro.graph.generators import uniform_random_graph
+
+
+class TestGraph:
+    def test_basic_properties(self):
+        g = Graph(4, [0, 1, 2], [1, 2, 3])
+        assert g.n_nodes == 4
+        assert g.n_edges == 3
+        assert not g.weighted
+
+    def test_rejects_out_of_range_labels(self):
+        with pytest.raises(ValueError):
+            Graph(3, [0, 5], [1, 2])
+        with pytest.raises(ValueError):
+            Graph(3, [0, 1], [1, -1])
+
+    def test_rejects_mismatched_arrays(self):
+        with pytest.raises(ValueError):
+            Graph(3, [0, 1], [1])
+        with pytest.raises(ValueError):
+            Graph(3, [0, 1], [1, 2], weights=[5])
+
+    def test_degrees(self):
+        g = Graph(4, [0, 0, 1], [1, 2, 2])
+        assert list(g.out_degrees()) == [2, 1, 0, 0]
+        assert list(g.in_degrees()) == [0, 1, 2, 0]
+
+    def test_with_weights_deterministic(self):
+        g = Graph(4, [0, 1], [1, 2])
+        w1 = g.with_weights(np.random.default_rng(9))
+        w2 = g.with_weights(np.random.default_rng(9))
+        assert w1.weighted
+        assert np.array_equal(w1.weights, w2.weights)
+        assert w1.weights.max() <= 255 and w1.weights.min() >= 0
+
+    def test_relabel_is_isomorphism(self):
+        g = Graph(4, [0, 1, 2], [1, 2, 3])
+        perm = np.array([3, 2, 1, 0])
+        h = g.relabel(perm)
+        # Edge (u,v) becomes (perm[u], perm[v]).
+        assert list(h.src) == [3, 2, 1]
+        assert list(h.dst) == [2, 1, 0]
+        # Degree multiset preserved.
+        assert sorted(g.out_degrees()) == sorted(h.out_degrees())
+
+    def test_relabel_rejects_non_permutation(self):
+        g = Graph(3, [0], [1])
+        with pytest.raises(ValueError):
+            g.relabel([0, 0, 1])
+        with pytest.raises(ValueError):
+            g.relabel([0, 1])
+
+
+class TestGenerators:
+    def test_web_graph_shape_and_determinism(self):
+        g1 = web_graph(1000, 5000, seed=5)
+        g2 = web_graph(1000, 5000, seed=5)
+        assert g1.n_nodes == 1000 and g1.n_edges == 5000
+        assert np.array_equal(g1.src, g2.src)
+        assert np.array_equal(g1.dst, g2.dst)
+
+    def test_web_graph_has_label_locality(self):
+        """Most edges connect nearby labels (crawl-order communities)."""
+        g = web_graph(10_000, 50_000, locality=0.9, community_span=64,
+                      seed=6)
+        near = np.abs(g.src - g.dst) <= 64
+        assert near.mean() > 0.8
+
+    def test_social_graph_destroys_locality(self):
+        g = social_graph(10_000, 50_000, seed=7)
+        near = np.abs(g.src - g.dst) <= 64
+        assert near.mean() < 0.2
+
+    def test_power_law_degree_skew(self):
+        """A few hubs collect a large share of out-edges."""
+        g = web_graph(10_000, 100_000, alpha=0.8, seed=8)
+        degrees = np.sort(g.out_degrees())[::-1]
+        top_share = degrees[:100].sum() / g.n_edges
+        assert top_share > 0.15  # top 1% of nodes, >15% of edges
+
+    def test_rmat_shape(self):
+        g = rmat_graph(10, edge_factor=8, seed=9)
+        assert g.n_nodes == 1024
+        assert g.n_edges == 8192
+
+    def test_rmat_is_skewed(self):
+        g = rmat_graph(12, edge_factor=16, seed=10)
+        degrees = np.sort(g.out_degrees())[::-1]
+        uniform_share = 16 * 40 / g.n_edges
+        top_share = degrees[:40].sum() / g.n_edges
+        assert top_share > 3 * uniform_share
+
+    def test_rmat_rejects_bad_probabilities(self):
+        with pytest.raises(ValueError):
+            rmat_graph(8, a=0.6, b=0.3, c=0.2)
+
+    def test_uniform_graph_not_skewed(self):
+        g = uniform_random_graph(4096, 65536, seed=11)
+        degrees = g.out_degrees()
+        assert degrees.max() < 10 * degrees.mean()
+
+    def test_generators_deterministic_across_kinds(self):
+        for maker in (lambda: social_graph(500, 2000, seed=3),
+                      lambda: rmat_graph(9, seed=3)):
+            a, b = maker(), maker()
+            assert np.array_equal(a.src, b.src)
+            assert np.array_equal(a.dst, b.dst)

@@ -1,0 +1,227 @@
+"""Tests for node reordering, the memory layout, and the dataset suite."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    BENCHMARKS,
+    Graph,
+    GraphLayout,
+    dbg_reorder,
+    hash_cache_lines,
+    identity_order,
+    load_benchmark,
+    partition_edges,
+    web_graph,
+)
+from repro.graph.datasets import DEFAULT_SUITE, SCRAMBLED_LABELS
+from repro.graph.reorder import compose
+from repro.mem import MemorySystem
+from repro.sim import Engine
+
+
+def is_permutation(perm, n):
+    seen = np.zeros(n, dtype=bool)
+    seen[perm] = True
+    return seen.all() and len(perm) == n
+
+
+class TestReorder:
+    def test_identity(self):
+        assert np.array_equal(identity_order(5), np.arange(5))
+
+    @given(st.integers(min_value=1, max_value=2000))
+    @settings(max_examples=30, deadline=None)
+    def test_hash_cache_lines_is_permutation(self, n):
+        perm = hash_cache_lines(n, nodes_per_dst_interval=64,
+                                nodes_per_line=16)
+        assert is_permutation(perm, n)
+
+    def test_hash_keeps_lines_together(self):
+        """Nodes of one cache line stay adjacent and in order."""
+        perm = hash_cache_lines(1024, nodes_per_dst_interval=256,
+                                nodes_per_line=16)
+        for line_start in range(0, 1024, 16):
+            block = perm[line_start:line_start + 16]
+            assert np.array_equal(block, np.arange(block[0], block[0] + 16))
+
+    def test_hash_balances_in_edges(self):
+        """A clustered graph gets balanced per-interval edge counts."""
+        g = web_graph(4096, 40_000, locality=0.95, seed=12)
+        nd = 256
+        unhashed = partition_edges(g, 1024, nd).dst_interval_edge_counts()
+        perm = hash_cache_lines(g.n_nodes, nd)
+        hashed = partition_edges(
+            g.relabel(perm), 1024, nd
+        ).dst_interval_edge_counts()
+        assert hashed.std() < unhashed.std()
+
+    def test_hash_rejects_misaligned_interval(self):
+        with pytest.raises(ValueError):
+            hash_cache_lines(100, nodes_per_dst_interval=40,
+                             nodes_per_line=16)
+
+    def test_dbg_is_permutation(self):
+        g = web_graph(2048, 20_000, seed=13)
+        assert is_permutation(dbg_reorder(g), g.n_nodes)
+
+    def test_dbg_groups_hubs_first(self):
+        """After DBG, low node ids have higher out-degree groups."""
+        g = web_graph(4096, 60_000, alpha=0.9, seed=14)
+        perm = dbg_reorder(g)
+        relabeled = g.relabel(perm)
+        degrees = relabeled.out_degrees()
+        first_half = degrees[: len(degrees) // 2].mean()
+        second_half = degrees[len(degrees) // 2:].mean()
+        assert first_half > second_half
+
+    def test_dbg_stable_within_group(self):
+        """Equal-degree nodes keep their relative order (locality kept)."""
+        g = Graph(6, [0, 1, 2, 3, 4, 5], [1, 2, 3, 4, 5, 0])  # all degree 1
+        perm = dbg_reorder(g)
+        assert np.array_equal(perm, np.arange(6))
+
+    def test_compose(self):
+        p1 = np.array([1, 2, 0])
+        p2 = np.array([2, 0, 1])
+        composed = compose(p1, p2)
+        # node i -> p1[i] -> p2[p1[i]]
+        assert list(composed) == [0, 1, 2]
+
+
+class TestGraphLayout:
+    def make(self, synchronous=True, weighted=False, node_bytes=4,
+             use_const=False):
+        g = web_graph(512, 4000, seed=15)
+        if weighted:
+            g = g.with_weights(np.random.default_rng(2))
+        part = partition_edges(g, 256, 128)
+        layout = GraphLayout(part, node_bytes=node_bytes,
+                             use_const=use_const, synchronous=synchronous)
+        engine = Engine()
+        mem = MemorySystem(engine, 1 << 21, n_channels=1)
+        return g, part, layout, mem
+
+    def test_sections_do_not_overlap(self):
+        _, part, layout, _ = self.make(use_const=True)
+        n_bytes = 512 * 4
+        assert layout.v_in_addr + n_bytes <= layout.v_const_addr
+        assert layout.v_const_addr + n_bytes <= layout.v_out_addr
+        assert layout.v_out_addr + n_bytes <= layout.edges_addr
+        assert layout.edges_addr < layout.edge_ptrs_addr <= layout.end_addr
+
+    def test_async_aliases_in_out(self):
+        _, _, layout, _ = self.make(synchronous=False)
+        assert layout.v_out_addr == layout.v_in_addr
+
+    def test_shards_are_line_aligned(self):
+        _, part, layout, _ = self.make()
+        for d in range(part.q_dst):
+            for s in range(part.q_src):
+                assert layout.shard_addr(s, d) % 64 == 0
+
+    def test_materialize_round_trips_shards(self):
+        g, part, layout, mem = self.make()
+        layout.materialize(mem, np.zeros(512, dtype=np.uint32))
+        for d in range(part.q_dst):
+            for s in range(part.q_src):
+                addr, count, active = layout.read_pointer(mem, d, s)
+                assert active
+                assert count == part.shard_size(s, d)
+                words = mem.read_bytes(
+                    addr, layout.codec.shard_bytes(count)
+                ).view(np.uint32)
+                src_off, dst_off = layout.codec.decode_shard(words)
+                exp_src, exp_dst = part.shard(s, d)
+                assert np.array_equal(src_off, exp_src - s * 256)
+                assert np.array_equal(dst_off, exp_dst - d * 128)
+
+    def test_materialize_weighted(self):
+        g, part, layout, mem = self.make(weighted=True)
+        layout.materialize(mem, np.zeros(512, dtype=np.uint32))
+        addr, count, _ = layout.read_pointer(mem, 0, 0)
+        words = mem.read_bytes(addr, layout.codec.shard_bytes(count)).view(
+            np.uint32
+        )
+        decoded = layout.codec.decode_shard(words)
+        exp = part.shard(0, 0)
+        assert np.array_equal(decoded[2], exp[2])
+
+    def test_node_values_round_trip(self):
+        g, part, layout, mem = self.make()
+        values = np.arange(512, dtype=np.uint32)
+        layout.materialize(mem, values)
+        assert np.array_equal(layout.read_values(mem, "in"), values)
+        # Synchronous: out starts as a copy of in.
+        assert np.array_equal(layout.read_values(mem, "out"), values)
+
+    def test_float_values(self):
+        g, part, layout, mem = self.make()
+        values = np.linspace(0, 1, 512, dtype=np.float32)
+        layout.materialize(mem, values)
+        out = layout.read_values(mem, "in", dtype=np.float32)
+        assert np.allclose(out, values)
+
+    def test_set_active_flag(self):
+        g, part, layout, mem = self.make()
+        layout.materialize(mem, np.zeros(512, dtype=np.uint32))
+        layout.set_active(mem, 0, 1, False)
+        _, _, active = layout.read_pointer(mem, 0, 1)
+        assert not active
+        layout.set_active(mem, 0, 1, True)
+        assert layout.read_pointer(mem, 0, 1)[2]
+
+    def test_swap_in_out(self):
+        g, part, layout, mem = self.make()
+        a, b = layout.v_in_addr, layout.v_out_addr
+        layout.swap_in_out()
+        assert (layout.v_in_addr, layout.v_out_addr) == (b, a)
+
+    def test_swap_rejected_for_async(self):
+        _, _, layout, _ = self.make(synchronous=False)
+        with pytest.raises(ValueError):
+            layout.swap_in_out()
+
+    def test_too_small_memory_rejected(self):
+        g = web_graph(512, 4000, seed=15)
+        part = partition_edges(g, 256, 128)
+        layout = GraphLayout(part)
+        engine = Engine()
+        mem = MemorySystem(engine, 1 << 12, n_channels=1)
+        with pytest.raises(ValueError):
+            layout.materialize(mem, np.zeros(512, dtype=np.uint32))
+
+
+class TestDatasets:
+    def test_suite_covers_table2(self):
+        assert set(BENCHMARKS) == {
+            "WT", "DB", "UK", "IT", "SK", "MP", "RV", "FR", "WB",
+            "24", "25", "26",
+        }
+        assert set(DEFAULT_SUITE) <= set(BENCHMARKS)
+        assert set(SCRAMBLED_LABELS) <= set(BENCHMARKS)
+
+    def test_size_ordering_matches_paper(self):
+        """Node counts keep the paper's relative ordering (Table II)."""
+        order = ["WT", "DB", "UK", "IT", "SK", "MP", "RV", "FR", "WB"]
+        sizes = [BENCHMARKS[k].n_nodes for k in order]
+        assert sizes == sorted(sizes)
+
+    def test_load_benchmark_memoizes_and_is_deterministic(self):
+        g1 = load_benchmark("WT")
+        g2 = load_benchmark("WT")
+        assert g1 is g2
+        fresh = BENCHMARKS["WT"].generate()
+        assert np.array_equal(g1.src, fresh.src)
+
+    def test_web_benchmarks_have_locality(self):
+        g = load_benchmark("UK")
+        near = np.abs(g.src - g.dst) <= 64
+        assert near.mean() > 0.7
+
+    def test_social_benchmarks_lack_locality(self):
+        g = load_benchmark("RV")
+        near = np.abs(g.src - g.dst) <= 64
+        assert near.mean() < 0.2

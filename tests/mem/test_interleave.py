@@ -1,0 +1,76 @@
+"""Tests for 2,048-byte channel interleaving."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem import AddressInterleaver
+
+
+class TestAddressInterleaver:
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            AddressInterleaver(0)
+        with pytest.raises(ValueError):
+            AddressInterleaver(2, granule=1000)  # not a power of two
+
+    def test_round_robin_granules(self):
+        inter = AddressInterleaver(4, granule=2048)
+        assert inter.channel_of(0) == 0
+        assert inter.channel_of(2047) == 0
+        assert inter.channel_of(2048) == 1
+        assert inter.channel_of(4096) == 2
+        assert inter.channel_of(6144) == 3
+        assert inter.channel_of(8192) == 0
+
+    def test_single_channel_is_identity(self):
+        inter = AddressInterleaver(1)
+        for addr in (0, 5, 2048, 100_000):
+            assert inter.to_local(addr) == (0, addr)
+
+    def test_local_addresses_are_dense(self):
+        """Per-channel local addresses cover [0, size/n) with no holes."""
+        inter = AddressInterleaver(2, granule=2048)
+        _, local0 = inter.to_local(0)
+        _, local1 = inter.to_local(4096)  # second granule on channel 0
+        assert local0 == 0
+        assert local1 == 2048
+
+    @given(st.integers(min_value=0, max_value=2**40),
+           st.integers(min_value=1, max_value=8))
+    @settings(max_examples=200, deadline=None)
+    def test_to_local_round_trips(self, addr, n_channels):
+        inter = AddressInterleaver(n_channels)
+        channel, local = inter.to_local(addr)
+        assert 0 <= channel < n_channels
+        assert inter.to_global(channel, local) == addr
+
+    def test_split_within_granule(self):
+        inter = AddressInterleaver(4)
+        pieces = inter.split(100, 64)
+        assert pieces == [(0, 100, 64, 100)]
+
+    def test_split_across_granules(self):
+        inter = AddressInterleaver(2, granule=2048)
+        pieces = inter.split(2048 - 64, 128)
+        assert len(pieces) == 2
+        (ch0, _, n0, a0), (ch1, _, n1, a1) = pieces
+        assert (ch0, n0, a0) == (0, 64, 2048 - 64)
+        assert (ch1, n1, a1) == (1, 64, 2048)
+
+    @given(st.integers(min_value=0, max_value=2**30),
+           st.integers(min_value=1, max_value=8192),
+           st.integers(min_value=1, max_value=4))
+    @settings(max_examples=200, deadline=None)
+    def test_split_is_a_partition(self, addr, nbytes, n_channels):
+        """Pieces tile [addr, addr+nbytes) exactly, in order."""
+        inter = AddressInterleaver(n_channels)
+        pieces = inter.split(addr, nbytes)
+        cursor = addr
+        for channel, local, piece_bytes, global_addr in pieces:
+            assert global_addr == cursor
+            assert inter.to_local(global_addr) == (channel, local)
+            # A piece never crosses a granule boundary.
+            assert (global_addr % inter.granule) + piece_bytes <= inter.granule
+            cursor += piece_bytes
+        assert cursor == addr + nbytes

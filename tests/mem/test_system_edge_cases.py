@@ -1,0 +1,75 @@
+"""Edge-case tests for the memory system and DRAM model."""
+
+import numpy as np
+import pytest
+
+from repro.mem import DramTimings, MemRequest, MemorySystem
+from repro.sim import Channel, Engine
+
+
+class TestMemorySystemEdges:
+    def test_rejects_unaligned_size(self):
+        engine = Engine()
+        with pytest.raises(ValueError):
+            MemorySystem(engine, 100, n_channels=1)
+
+    def test_u64_view_alignment(self):
+        engine = Engine()
+        mem = MemorySystem(engine, 1 << 12, n_channels=1)
+        mem.view_u64(8, 1)[0] = np.uint64(0xDEADBEEFCAFEBABE)
+        assert mem.view_u64(8, 1)[0] == np.uint64(0xDEADBEEFCAFEBABE)
+        with pytest.raises(ValueError):
+            mem.view_u64(4, 1)
+
+    def test_write_bytes_clips_to_nbytes(self):
+        engine = Engine()
+        mem = MemorySystem(engine, 1 << 12, n_channels=1)
+        mem.write_bytes(0, np.arange(16, dtype=np.uint8), nbytes=8)
+        assert list(mem.read_bytes(0, 10)) == list(range(8)) + [0, 0]
+
+    def test_channel_of_matches_interleaver(self):
+        engine = Engine()
+        mem = MemorySystem(engine, 1 << 14, n_channels=4)
+        for addr in (0, 2047, 2048, 8191, 8192):
+            assert mem.channel_of(addr) == mem.interleaver.channel_of(addr)
+
+
+class TestDramOrdering:
+    def test_per_channel_responses_in_order(self):
+        """Each channel responds strictly in request order."""
+        engine = Engine()
+        mem = MemorySystem(engine, 1 << 14, n_channels=1,
+                           timings=DramTimings(latency=7))
+        resp = engine.add_channel(Channel(64))
+        for i in range(10):
+            mem.channels[0].req.push(
+                MemRequest(addr=i * 64, nbytes=64, kind="single",
+                           tag=i, respond_to=resp)
+            )
+        received = []
+        engine.run(done=lambda: len(resp) >= 10, max_cycles=10_000)
+        while resp.can_pop():
+            received.append(resp.pop().tag)
+        assert received == list(range(10))
+
+    def test_mixed_reads_and_writes_serialize_on_bus(self):
+        engine = Engine()
+        mem = MemorySystem(engine, 1 << 14, n_channels=1,
+                           timings=DramTimings(latency=5))
+        resp = engine.add_channel(Channel(64))
+        payload = np.zeros(64, dtype=np.uint8)
+        mem.channels[0].req.push(
+            MemRequest(addr=0, nbytes=64, is_write=True, data=payload,
+                       tag="w", respond_to=resp)
+        )
+        mem.channels[0].req.push(
+            MemRequest(addr=64, nbytes=64, kind="single", tag="r",
+                       respond_to=resp)
+        )
+        tags = []
+        engine.run(done=lambda: len(resp) >= 2, max_cycles=1000)
+        while resp.can_pop():
+            tags.append(resp.pop().tag)
+        assert tags == ["w", "r"]
+        stats = mem.channels[0].stats
+        assert stats.writes == 1 and stats.reads_single == 1

@@ -1,0 +1,27 @@
+"""Tests for the `python -m repro` command-line entry point."""
+
+import pytest
+
+from repro.__main__ import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list_prints_all_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for key in EXPERIMENTS:
+            assert key in out
+
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_runs_a_cheap_experiment(self, capsys):
+        assert main(["fig17"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 17" in out
+        assert "freq MHz" in out
+
+    def test_table4_style_experiment(self, capsys):
+        assert main(["table3"]) == 0
+        assert "preprocessing time" in capsys.readouterr().out

@@ -1,0 +1,43 @@
+"""Tests for the table renderer and geomean helper."""
+
+import pytest
+
+from repro.report import format_table, geomean
+
+
+class TestFormatTable:
+    def test_renders_aligned_columns(self):
+        rows = [{"name": "a", "value": 1.5}, {"name": "bb", "value": 20.25}]
+        text = format_table(rows, title="t")
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert "1.500" in text and "20.250" in text
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([], title="empty")
+
+    def test_column_subset_and_order(self):
+        rows = [{"a": 1, "b": 2, "c": 3}]
+        text = format_table(rows, columns=["c", "a"])
+        header = text.splitlines()[0]
+        assert header.index("c") < header.index("a")
+        assert "b" not in header
+
+    def test_missing_cells_render_blank(self):
+        rows = [{"a": 1}, {"a": 2, "b": "x"}]
+        text = format_table(rows)
+        assert "x" in text
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([1, 4]) == pytest.approx(2.0)
+        assert geomean([3, 3, 3]) == pytest.approx(3.0)
+
+    def test_ignores_nonpositive(self):
+        assert geomean([0.0, 2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_empty_is_zero(self):
+        assert geomean([]) == 0.0
+        assert geomean([0.0]) == 0.0
