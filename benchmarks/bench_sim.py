@@ -1,0 +1,169 @@
+"""Quick simulator benchmark suite -> BENCH_sim.json.
+
+Measures the wall-clock effect of the demand-driven engine and the
+parallel sweep runner on a fixed four-point suite (PageRank on the RV
+stand-in across the shared / private / two-level / traditional
+organizations -- the same workload family as Fig. 1/11):
+
+* **baseline**: the seed schedule -- all-tick legacy engine
+  (``REPRO_ENGINE=legacy``), points run serially;
+* **optimized**: demand-driven engine, points run through
+  :func:`repro.experiments.common.run_points` with ``REPRO_JOBS``
+  workers (so the combined speedup scales with the host's cores; on a
+  single-core runner it measures the engine alone).
+
+Cycle counts are asserted identical between the two passes -- the
+speedup is free of model drift by construction.  A micro-benchmark of
+``Channel.push_many`` against per-token ``push`` rounds out the file.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sim.py [--output BENCH_sim.json]
+"""
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import sys
+import time
+
+from repro.accel.config import ArchitectureConfig, SCALED_DEFAULTS, _design
+from repro.accel.system import AcceleratorSystem
+from repro.core.stats import EngineActivity
+from repro.experiments.common import bench_graph, default_jobs, run_points
+from repro.fabric.design import (
+    MOMS_PRIVATE,
+    MOMS_SHARED,
+    MOMS_TRADITIONAL,
+    MOMS_TWO_LEVEL,
+)
+from repro.sim import Channel
+from repro.sim.engine import Engine
+
+SUITE = (
+    ("traditional", MOMS_TRADITIONAL),
+    ("two-level", MOMS_TWO_LEVEL),
+    ("shared", MOMS_SHARED),
+    ("private", MOMS_PRIVATE),
+)
+
+
+def _point(label_org):
+    label, organization = label_org
+    graph = bench_graph("RV", True)
+    config = ArchitectureConfig(
+        _design(4, 4, organization, "pagerank", n_channels=2),
+        **SCALED_DEFAULTS,
+    )
+    start = time.perf_counter()
+    system = AcceleratorSystem(graph, "pagerank", config)
+    result = system.run(max_iterations=2)
+    wall = time.perf_counter() - start
+    activity = EngineActivity.from_engine(system.engine)
+    return {
+        "organization": label,
+        "cycles": result.cycles,
+        "gteps": result.gteps,
+        "wall_s": round(wall, 3),
+        "tick_fraction": round(activity.tick_fraction, 4),
+        "activity": activity.as_dict(),
+    }
+
+
+def run_pass(engine_kind, jobs):
+    os.environ["REPRO_ENGINE"] = engine_kind
+    start = time.perf_counter()
+    rows = run_points(_point, list(SUITE), jobs=jobs)
+    wall = time.perf_counter() - start
+    activity = EngineActivity()
+    for row in rows:
+        activity.merge(row.pop("activity"))
+    return {
+        "engine": engine_kind,
+        "jobs": jobs,
+        "wall_s": round(wall, 3),
+        "points": rows,
+        "tick_fraction": round(activity.tick_fraction, 4),
+        "summary": activity.summary_line(jobs=jobs),
+    }
+
+
+def bench_push_many(tokens=200_000, batch=16):
+    """Per-token push versus one push_many call per batch."""
+
+    def rounds(use_bulk):
+        engine = Engine()
+        channel = engine.add_channel(Channel(batch))
+        start = time.perf_counter()
+        for _ in range(tokens // batch):
+            if use_bulk:
+                channel.push_many(list(range(batch)))
+            else:
+                for item in range(batch):
+                    channel.push(item)
+            channel.commit()
+            for _ in range(batch):
+                channel.pop()
+            channel.commit()
+        return time.perf_counter() - start
+
+    push_wall = rounds(use_bulk=False)
+    bulk_wall = rounds(use_bulk=True)
+    return {
+        "tokens": tokens,
+        "batch": batch,
+        "push_wall_s": round(push_wall, 3),
+        "push_many_wall_s": round(bulk_wall, 3),
+        "speedup": round(push_wall / bulk_wall, 2),
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        default=str(pathlib.Path(__file__).resolve().parent.parent
+                    / "BENCH_sim.json"),
+    )
+    args = parser.parse_args(argv)
+    jobs = default_jobs()
+
+    print(f"baseline pass: legacy engine, serial ({len(SUITE)} points)")
+    baseline = run_pass("legacy", jobs=1)
+    print(f"  wall {baseline['wall_s']:.2f}s")
+    print(f"optimized pass: demand engine, jobs={jobs}")
+    optimized = run_pass("demand", jobs=jobs)
+    print(f"  wall {optimized['wall_s']:.2f}s")
+    print(f"  {optimized['summary']}")
+
+    for before, after in zip(baseline["points"], optimized["points"]):
+        assert before["cycles"] == after["cycles"], (before, after)
+        assert before["gteps"] == after["gteps"], (before, after)
+
+    combined = baseline["wall_s"] / optimized["wall_s"]
+    report = {
+        "suite": "PageRank/RV quick suite "
+                 "(shared, private, two-level, traditional)",
+        "host": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "jobs": jobs,
+        },
+        "baseline_legacy_serial": baseline,
+        "optimized_demand_parallel": optimized,
+        "combined_speedup": round(combined, 2),
+        "cycles_identical": True,
+        "push_many_micro": bench_push_many(),
+    }
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2)
+    print(f"combined speedup {combined:.2f}x "
+          f"(engine + {jobs}-way sweeps on {os.cpu_count()} cpus)")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

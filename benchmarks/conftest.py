@@ -31,6 +31,8 @@ def run_experiment(benchmark, module, **kwargs):
     benchmark.pedantic(once, rounds=1, iterations=1)
     rows, text = holder["result"]
     print("\n" + text)
+    from repro.report import engine_summary_line
+    print(engine_summary_line())
     RESULTS_DIR.mkdir(exist_ok=True)
     name = module.__name__.rsplit(".", 1)[-1]
     with open(RESULTS_DIR / f"{name}.json", "w") as fh:

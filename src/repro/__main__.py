@@ -49,6 +49,9 @@ def main(argv=None):
 
     keys = (sorted(EXPERIMENTS) if args.experiment == "all"
             else [args.experiment])
+    from repro.experiments.common import reset_sweep_activity
+    from repro.report import engine_summary_line
+
     for key in keys:
         if key not in EXPERIMENTS:
             parser.error(
@@ -57,8 +60,10 @@ def main(argv=None):
         module = importlib.import_module(
             f"repro.experiments.{EXPERIMENTS[key]}"
         )
+        reset_sweep_activity()
         _rows, text = module.run(quick=not args.full)
         print(text)
+        print(engine_summary_line())
         print()
     return 0
 

@@ -22,6 +22,7 @@ Each PE processes one destination-interval job at a time:
 6. apply() and write the interval back, then notify the scheduler.
 """
 
+import struct
 from collections import deque
 
 import numpy as np
@@ -40,6 +41,7 @@ WRITEBACK = "writeback"
 
 _SRC_MASK = (1 << EDGE_SRC_BITS) - 1
 _DST_MASK = (1 << EDGE_DST_BITS) - 1
+_U32 = struct.Struct("=I")  # native-endian u32, same layout numpy views use
 
 
 class BurstRequester:
@@ -105,6 +107,8 @@ class PEStats:
 class ProcessingElement(Component):
     """One out-of-order multithreaded PE."""
 
+    demand_driven = True
+
     def __init__(self, pe_index, spec, layout, mem, config,
                  moms_req, moms_resp, burst_ports, dma_resp,
                  job_channel, done_channel):
@@ -120,6 +124,19 @@ class ProcessingElement(Component):
         self.job_channel = job_channel
         self.done_channel = done_channel
         self.stats = PEStats()
+
+        # Wake on anything that can unblock the state machine: a new
+        # job, returned DMA beats / write acks, MOMS responses, and
+        # freed space on the request ports the PE pushes into.  Purely
+        # internal progress (BRAM applies, gather commits, burst
+        # issue slots) is re-armed per tick in _arm().
+        job_channel.subscribe_data(self)
+        dma_resp.subscribe_data(self)
+        moms_resp.subscribe_data(self)
+        moms_req.subscribe_space(self)
+        for port in burst_ports:
+            if port is not None:
+                port.subscribe_space(self)
 
         part = layout.partitioning
         self._nd = part.n_dst
@@ -167,6 +184,82 @@ class ProcessingElement(Component):
             # cycle (e.g. phase transitions, rate budgets); never let the
             # engine declare the system dead while a job is in flight.
             engine.mark_active()
+        self._arm(engine)
+
+    def _arm(self, engine):
+        """Self-schedule the next tick for progress no channel signals.
+
+        Channel subscriptions cover externally-triggered progress (new
+        jobs, DMA beats, MOMS responses, freed port space); this
+        re-arm covers the internal kind: BRAM apply/read-out budgets,
+        burst issue slots freeing up, decoded edges awaiting dispatch,
+        and gather-pipeline commits (a precise timer, so a PE blocked
+        only on its arithmetic pipeline sleeps until the commit cycle).
+        """
+        phase = self._phase
+        if phase == IDLE:
+            # A job may already be sitting in the channel from before
+            # this PE went idle (pushed while we were busy, so its data
+            # wake ticked us mid-job and won't fire again).
+            if self.job_channel._ready:
+                engine.wake(self)
+            return
+        if phase in (INIT_CONST, INIT_VIN):
+            if self._apply_backlog or (
+                self._rd_burst_outstanding == 0
+                and self._rd_requested < self._rd_total
+            ):
+                engine.wake(self)
+            return
+        if phase == POINTERS:
+            if not self._ptr_requested:
+                engine.wake(self)
+            return
+        if phase == STREAM:
+            if self._pipeline:
+                engine.wake_at(self, self._pipeline[0][0])
+            if (self.dma_resp._ready or self.moms_resp._ready
+                    or self._can_stream_more()):
+                # Beats to decode, responses to serve (or spin on a RAW
+                # hazard, matching the all-tick stall cadence), or a
+                # burst slot worth retrying.
+                engine.wake(self)
+                return
+            queue = self._edge_queue
+            if queue:
+                # Progress on the head edge is all that remains; wake
+                # only if it can move without an external event.
+                src_node = queue[0][0]
+                if self.spec.use_local_src \
+                        and self._lo <= src_node < self._hi:
+                    engine.wake(self)  # local read, gated only on gather
+                elif self.spec.weighted and not self._free_ids:
+                    pass  # IDs free only via responses -> moms_resp wake
+                elif self.moms_req.free_slots() > 0:
+                    engine.wake(self)
+                # else: request port full -> its space wake re-arms us
+            elif self._stream_done():
+                # The POINTERS->STREAM transition tick never ran
+                # _tick_stream; an already-empty stream (no active
+                # shards) still needs one tick to enter writeback.
+                engine.wake(self)
+            return
+        # WRITEBACK: keep stepping while node values remain to send;
+        # once everything is issued, the write acks wake us.  The
+        # acks-complete clause only matters for empty intervals, whose
+        # first writeback tick must still fire to report completion.
+        if self._wb_sent < self._n_local * 4 \
+                or self._wb_acks_received >= self._wb_acks_expected:
+            engine.wake(self)
+
+    def _can_stream_more(self):
+        """True if _request_edge_bursts could issue on a later cycle."""
+        if self._stream_cursor >= len(self._shards):
+            return False
+        if self._bursts_outstanding >= self.config.max_outstanding_edge_bursts:
+            return False
+        backlog = len(self._edge_queue) + self._beats_outstanding * 16
+        return backlog <= self._decoded_backlog_limit
 
     def is_idle(self):
         return self._phase == IDLE
@@ -225,7 +318,7 @@ class ProcessingElement(Component):
             self._rd_received += 1
             start = (beat.addr - self._rd_base) // 4
             count = min(16, self._n_local - start)
-            words = beat.data[:4 * count].view(np.uint32)
+            words = beat.data[:4 * count].view(np.uint32).tolist()
             self._apply_backlog.append((start, words))
         if self._apply_backlog:
             engine.mark_active()  # BRAM writes advance without channel traffic
@@ -243,7 +336,7 @@ class ProcessingElement(Component):
                 for i in range(take):
                     index = start + i
                     self._bram[index] = init(
-                        self._const_bram[index], decode(int(words[i]))
+                        self._const_bram[index], decode(words[i])
                     )
             self._applied += take
             budget -= take
@@ -302,6 +395,7 @@ class ProcessingElement(Component):
                     "edges_decoded": 0,
                 })
         self._shards = shards
+        self._shard_by_s = {shard["s"]: shard for shard in shards}
         self._stream_cursor = 0
         self._bursts_outstanding = 0
         self._beats_outstanding = 0
@@ -310,13 +404,36 @@ class ProcessingElement(Component):
     # -- edge streaming + gather ------------------------------------------------
 
     def _tick_stream(self, engine):
-        self._commit_pipeline(engine)
-        self._request_edge_bursts()
-        self._decode_edge_beats()
-        gather_free = self._process_response()
-        self._process_edges(gather_free)
-        if self._stream_done():
-            self._start_writeback()
+        # The five stream sub-stages run every cycle in hardware, but in
+        # simulation most are no-ops on any given tick; guard each one
+        # inline so an idle stage costs a branch, not a function call.
+        pipeline = self._pipeline
+        if pipeline:
+            now = engine.now
+            if pipeline[0][0] <= now:
+                bram = self._bram
+                always_active = self.spec.always_active
+                while pipeline and pipeline[0][0] <= now:
+                    _, dst_off, new, old = pipeline.popleft()
+                    bram[dst_off] = new
+                    if always_active or new != old:
+                        self._job_updated = True
+            if pipeline:
+                engine.mark_active()  # internal state is advancing
+        if self._stream_cursor < len(self._shards):
+            self._request_edge_bursts()
+        if self.dma_resp._ready:
+            self._decode_edge_beats()
+        if self.moms_resp._ready:
+            gather_free = self._process_response()
+        else:
+            gather_free = True
+        if self._edge_queue:
+            self._process_edges(gather_free)
+        if not (self._bursts_outstanding or self._edge_queue
+                or self._pipeline or self._outstanding_moms):
+            if self._stream_done():
+                self._start_writeback()
 
     def _request_edge_bursts(self):
         config = self.config
@@ -356,28 +473,34 @@ class ProcessingElement(Component):
         if beat.last:
             self._bursts_outstanding -= 1
         self._beats_outstanding -= 1
-        words = beat.data.view(np.uint32)
+        # Decode over plain Python ints (one bulk conversion) -- numpy
+        # scalar iteration costs ~10x per word on this hot path.
+        words = beat.data.view(np.uint32).tolist()
         weighted = self.spec.weighted
         src_base = s * self._ns
-        shard = next(sh for sh in self._shards if sh["s"] == s)
+        shard = self._shard_by_s[s]
         if weighted:
             edge_words = words[0::2]
             weight_words = words[1::2]
         else:
             edge_words = words
             weight_words = None
+        append = self._edge_queue.append
+        decoded = 0
         for i, word in enumerate(edge_words):
             if word & TERMINATOR_BIT:
                 break
-            src_off = (int(word) >> EDGE_DST_BITS) & _SRC_MASK
-            dst_off = int(word) & _DST_MASK
-            weight = int(weight_words[i]) if weighted else 0
-            self._edge_queue.append((src_base + src_off, dst_off, weight))
-            shard["edges_decoded"] += 1
-            if shard["edges_decoded"] > shard["count"]:
-                # Padding within the final line is cut by the
-                # terminator; exceeding the count means corruption.
-                raise AssertionError("decoded more edges than the shard has")
+            append((
+                src_base + ((word >> EDGE_DST_BITS) & _SRC_MASK),
+                word & _DST_MASK,
+                weight_words[i] if weighted else 0,
+            ))
+            decoded += 1
+        shard["edges_decoded"] += decoded
+        if shard["edges_decoded"] > shard["count"]:
+            # Padding within the final line is cut by the
+            # terminator; exceeding the count means corruption.
+            raise AssertionError("decoded more edges than the shard has")
 
     def _raw_hazard(self, dst_off):
         for _, entry_dst, _, _ in self._pipeline:
@@ -421,7 +544,7 @@ class ProcessingElement(Component):
         if self.spec.weighted:
             del self._id_state[response.req_id]
             self._free_ids.append(response.req_id)
-        word = int(response.data[:4].view(np.uint32)[0])
+        word = _U32.unpack_from(response.data)[0]
         self._enter_pipeline(self._engine, dst_off, self.spec.decode(word),
                              weight)
         return False

@@ -30,10 +30,16 @@ class Job:
 class Scheduler(Component):
     """Issues jobs to PEs and collects their completions."""
 
+    demand_driven = True
+
     def __init__(self, job_channel, done_channel, partitioning):
         self.job_channel = job_channel
         self.done_channel = done_channel
         self.part = partitioning
+        # Wake on PE completions and freed job slots; while jobs are
+        # queued and the slot is free, tick() re-arms itself below.
+        done_channel.subscribe_data(self)
+        job_channel.subscribe_space(self)
         self._pending = []
         self._outstanding = 0
         self.iteration = 0
@@ -65,6 +71,8 @@ class Scheduler(Component):
             for d in np.nonzero(live)[0]
         ]
         self._issued_this_iteration = len(self._pending)
+        if self._pending:
+            self.request_wake()
         return len(self._pending)
 
     def tick(self, engine):
@@ -72,6 +80,8 @@ class Scheduler(Component):
             self.job_channel.push(self._pending.pop(0))
             self._outstanding += 1
             self.jobs_issued += 1
+            if self._pending:
+                engine.wake(self)
         while self.done_channel.can_pop():
             d, updated = self.done_channel.pop()
             self._outstanding -= 1

@@ -26,7 +26,7 @@ from repro.graph.layout import GraphLayout
 from repro.graph.partition import partition_edges
 from repro.graph.reorder import compose, dbg_reorder, hash_cache_lines
 from repro.mem.system import MemorySystem
-from repro.sim import Channel, Engine
+from repro.sim import Channel, make_engine
 
 
 @dataclass
@@ -112,7 +112,7 @@ class AcceleratorSystem:
         config = self.config
         design = config.design
         spec = self.spec
-        self.engine = Engine()
+        self.engine = make_engine()
         self.partitioning = partition_edges(
             self.graph, config.nodes_per_src_interval,
             config.nodes_per_dst_interval,
@@ -290,6 +290,7 @@ class AcceleratorSystem:
             "stall_breakdown": self.hierarchy.stall_breakdown(),
             "organization": design.organization,
             "cycles_skipped": self.engine.cycles_skipped,
+            "engine": self.engine.activity(),
         }
 
 

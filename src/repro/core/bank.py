@@ -25,6 +25,11 @@ from repro.core.mshr import AssociativeMshrFile, CuckooMshrFile
 from repro.core.subentry import SubentryStore
 from repro.sim import Component
 
+# Outcomes of the request pipeline stage (see MomsBank.tick):
+_PROGRESS = "progress"  # head request completed
+_SLEEP = "sleep"  # stalled without touching architectural state
+_RETRY = "retry"  # stalled after a cuckoo insert mutated PRNG/table state
+
 
 @dataclass
 class BankParams:
@@ -90,6 +95,8 @@ class MomsBank(Component):
     to request missing lines.
     """
 
+    demand_driven = True
+
     def __init__(self, params, req_in, resp_out, line_in, downstream,
                  store, name="bank", seed=1):
         self.params = params
@@ -99,7 +106,20 @@ class MomsBank(Component):
         self.downstream = downstream
         self.store = store
         self.name = name
+        # Wake on new requests, returned lines, freed response slots
+        # (drain and hit paths stall on resp_out), and freed downstream
+        # request slots (primary misses stall on a full miss port).
+        # MSHR/subentry stalls need no subscription: those structures
+        # only free during this bank's own drains, which line_in wakes.
+        req_in.subscribe_data(self)
+        line_in.subscribe_data(self)
+        resp_out.subscribe_space(self)
+        for channel in getattr(downstream, "wake_channels", ()):
+            channel.subscribe_space(self)
         self.mshrs = params.build_mshr_file(seed=seed)
+        # Cuckoo inserts mutate PRNG/table state even when they fail;
+        # associative inserts are pure functions of occupancy.
+        self._stateful_mshrs = not params.associative_mshrs
         self.subentries = SubentryStore(
             params.n_subentries, row_size=params.subentry_row_size
         )
@@ -123,14 +143,39 @@ class MomsBank(Component):
         if self._drain_items is not None:
             self._drain_one()
             self.stats.busy_cycles += 1
+            if self._drain_items is not None:
+                # Mid-drain: keep stepping while the port has room; a
+                # full port hands off to the resp_out space wake.
+                if self.resp_out.can_push():
+                    engine.wake(self)
+            elif self.line_in._ready or self.req_in._ready:
+                # Drain finished with backlog that arrived (and fired
+                # its one-shot wakes) while the pipeline was busy.
+                engine.wake(self)
             return
         if self.line_in._ready:
             self._begin_drain(self.line_in.pop())
             self.stats.busy_cycles += 1
+            if self.resp_out.can_push():
+                engine.wake(self)
             return
         if self.req_in._ready:
-            if self._handle_request():
+            outcome = self._handle_request()
+            if outcome is _PROGRESS:
                 self.stats.busy_cycles += 1
+            elif outcome is _RETRY:
+                # A cuckoo insert ran and failed (or succeeded and was
+                # rolled back for a missing subentry row): the victim-way
+                # generator and possibly the table layout advanced, so
+                # the retry cadence is architecturally visible.  Retry
+                # every cycle, exactly like the all-tick engine, or a
+                # different attempt would succeed and change the cycle
+                # results.
+                engine.wake(self)
+            # else _SLEEP: the stall touched no architectural state, and
+            # every event that can unblock it fires a subscribed wake --
+            # line_in (frees MSHRs, subentry rows, and fills the cache),
+            # resp_out space, and downstream request-port space.
 
     def is_idle(self):
         return (
@@ -153,19 +198,22 @@ class MomsBank(Component):
         self.cache.fill(line_addr)
         self.stats.lines_returned += 1
         self._drain_chain = entry.subentry_head
-        self._drain_items = list(
-            self.subentries.chain_items(entry.subentry_head)
-        )
+        self._drain_items = [
+            item for row in entry.subentry_head for item in row
+        ]
         self._drain_index = 0
         self._drain_data = line.data
         self._drain_base = line.addr
 
     def _drain_one(self):
-        if not self.resp_out.can_push():
+        resp_out = self.resp_out
+        if not resp_out.can_push():
             self.stats.stall_response_port += 1
             return
-        req_id, port, offset, size = self._drain_items[self._drain_index]
-        self.resp_out.push(
+        items = self._drain_items
+        index = self._drain_index
+        req_id, port, offset, size = items[index]
+        resp_out.push(
             MomsResponse(
                 req_id=req_id,
                 addr=self._drain_base + offset,
@@ -174,8 +222,8 @@ class MomsBank(Component):
             )
         )
         self.stats.responses += 1
-        self._drain_index += 1
-        if self._drain_index == len(self._drain_items):
+        self._drain_index = index + 1
+        if self._drain_index == len(items):
             self.subentries.free_chain(self._drain_chain)
             self._drain_chain = None
             self._drain_items = None
@@ -184,7 +232,17 @@ class MomsBank(Component):
     # -- request path -----------------------------------------------------
 
     def _handle_request(self):
-        """Process the head request; returns True if it made progress."""
+        """Process the head request; returns one of the outcome codes.
+
+        ``_SLEEP`` stalls happened before any stateful structure was
+        touched (response port full, subentry row shortage, downstream
+        full, associative MSHR file full): retrying them later gives the
+        same answer, so the bank may sleep until a subscribed wake.
+        ``_RETRY`` stalls ran a cuckoo insert first and must be retried
+        every cycle to keep the victim-way generator sequence identical
+        to the all-tick engine.
+        """
+        stats = self.stats
         request = self.req_in.front()
         line_bytes = self.params.line_bytes
         line_addr = request.addr // line_bytes
@@ -192,8 +250,8 @@ class MomsBank(Component):
 
         if self.cache.probe(line_addr):
             if not self.resp_out.can_push():
-                self.stats.stall_response_port += 1
-                return False
+                stats.stall_response_port += 1
+                return _SLEEP
             self.req_in.pop()
             self.resp_out.push(
                 MomsResponse(
@@ -203,45 +261,45 @@ class MomsBank(Component):
                     port=request.port,
                 )
             )
-            self.stats.requests += 1
-            self.stats.cache_hits += 1
-            self.stats.responses += 1
-            return True
+            stats.requests += 1
+            stats.cache_hits += 1
+            stats.responses += 1
+            return _PROGRESS
 
         subentry = (request.req_id, request.port, offset, request.size)
         entry = self.mshrs.lookup(line_addr)
         if entry is not None:
             limit = self.params.subentries_per_mshr
             if limit and entry.subentry_count >= limit:
-                self.stats.stall_subentry += 1
-                return False
+                stats.stall_subentry += 1
+                return _SLEEP
             if not self.subentries.append(entry.subentry_head, subentry):
-                self.stats.stall_subentry += 1
-                return False
+                stats.stall_subentry += 1
+                return _SLEEP
             entry.subentry_count += 1
             self.req_in.pop()
-            self.stats.requests += 1
-            self.stats.secondary_misses += 1
-            return True
+            stats.requests += 1
+            stats.secondary_misses += 1
+            return _PROGRESS
 
         # Primary miss: all three structures must have room before any
         # side effect happens, so a stalled request retries cleanly.
         if not self.downstream.can_accept(line_addr):
-            self.stats.stall_downstream += 1
-            return False
+            stats.stall_downstream += 1
+            return _SLEEP
         new_entry = self.mshrs.insert(line_addr)
         if new_entry is None:
-            self.stats.stall_mshr += 1
-            return False
+            stats.stall_mshr += 1
+            return _RETRY if self._stateful_mshrs else _SLEEP
         chain = self.subentries.new_chain()
         if not self.subentries.append(chain, subentry):
             self.mshrs.remove(line_addr)
-            self.stats.stall_subentry += 1
-            return False
+            stats.stall_subentry += 1
+            return _RETRY if self._stateful_mshrs else _SLEEP
         new_entry.subentry_head = chain
         new_entry.subentry_count = 1
         self.downstream.issue(line_addr)
         self.req_in.pop()
-        self.stats.requests += 1
-        self.stats.primary_misses += 1
-        return True
+        stats.requests += 1
+        stats.primary_misses += 1
+        return _PROGRESS

@@ -43,6 +43,11 @@ class DramDownstream:
         self.respond_to = respond_to
         self.lines_requested = 0
 
+    @property
+    def wake_channels(self):
+        """Channels whose freed space can unblock a stalled issue."""
+        return [port for port in self.request_ports if port is not None]
+
     def can_accept(self, line_addr):
         channel = self.mem.channel_of(line_addr * LINE_BYTES)
         return self.request_ports[channel].can_push()
@@ -67,6 +72,11 @@ class MomsDownstream:
         self.req_out = req_out
         self.port = port
         self.lines_requested = 0
+
+    @property
+    def wake_channels(self):
+        """Channels whose freed space can unblock a stalled issue."""
+        return [self.req_out]
 
     def can_accept(self, line_addr):
         return self.req_out.can_push()

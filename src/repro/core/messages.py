@@ -3,7 +3,7 @@
 from dataclasses import dataclass
 
 
-@dataclass
+@dataclass(slots=True)
 class MomsRequest:
     """A short irregular read (a node value, or a full line at L2).
 
@@ -19,7 +19,7 @@ class MomsRequest:
     port: int = 0
 
 
-@dataclass
+@dataclass(slots=True)
 class MomsResponse:
     """Data for one request: the ``size`` bytes at ``addr``."""
 

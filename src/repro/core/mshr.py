@@ -16,7 +16,7 @@ Two implementations:
 from dataclasses import dataclass, field
 
 
-@dataclass
+@dataclass(slots=True)
 class MshrEntry:
     """State of one outstanding cache line."""
 
@@ -62,23 +62,40 @@ class CuckooMshrFile:
         self._victim_state = rng_state ^ 0x9E3779B97F4A7C15
         self.occupancy = 0
         self.stats = MshrStats()
+        # Hash memo: line addresses repeat heavily (lookup + insert +
+        # remove all probe the same slots, and hot lines recur across
+        # the run), so the splitmix64 chain is worth caching.  Bounded
+        # by the number of distinct lines touched.
+        self._slot_cache = {}
+
+    def _slots(self, line_addr):
+        """The candidate slot per way for *line_addr* (cached)."""
+        slots = self._slot_cache.get(line_addr)
+        if slots is None:
+            # splitmix64-style finalizer: full avalanche even for small,
+            # sequential line addresses (a plain multiply stays too
+            # linear and caps the achievable cuckoo load factor).
+            mask = (1 << 64) - 1
+            way_size = self.way_size
+            out = []
+            for multiplier in self._multipliers:
+                h = (line_addr + multiplier) & mask
+                h = ((h ^ (h >> 30)) * 0xBF58476D1CE4E5B9) & mask
+                h = ((h ^ (h >> 27)) * 0x94D049BB133111EB) & mask
+                h ^= h >> 31
+                out.append(h % way_size)
+            slots = tuple(out)
+            self._slot_cache[line_addr] = slots
+        return slots
 
     def _slot(self, way, line_addr):
-        # splitmix64-style finalizer: full avalanche even for small,
-        # sequential line addresses (a plain multiply stays too linear
-        # and caps the achievable cuckoo load factor).
-        mask = (1 << 64) - 1
-        h = (line_addr + self._multipliers[way]) & mask
-        h = ((h ^ (h >> 30)) * 0xBF58476D1CE4E5B9) & mask
-        h = ((h ^ (h >> 27)) * 0x94D049BB133111EB) & mask
-        h ^= h >> 31
-        return h % self.way_size
+        return self._slots(line_addr)[way]
 
     def lookup(self, line_addr):
         """Return the entry for *line_addr* or None."""
         self.stats.lookups += 1
-        for way in range(self.n_ways):
-            entry = self._tables[way][self._slot(way, line_addr)]
+        for table, slot in zip(self._tables, self._slots(line_addr)):
+            entry = table[slot]
             if entry is not None and entry.line_addr == line_addr:
                 self.stats.hits += 1
                 return entry
@@ -92,14 +109,15 @@ class CuckooMshrFile:
         """
         entry = MshrEntry(line_addr)
         carried = entry
+        tables = self._tables
         path = []  # (way, slot) of every displacement, for exact unwind
         for kick in range(self.max_kicks + 1):
             # First look for any empty slot among the d candidate ways.
+            slots = self._slots(carried.line_addr)
             placed = False
-            for way in range(self.n_ways):
-                slot = self._slot(way, carried.line_addr)
-                if self._tables[way][slot] is None:
-                    self._tables[way][slot] = carried
+            for way, slot in enumerate(slots):
+                if tables[way][slot] is None:
+                    tables[way][slot] = carried
                     placed = True
                     break
             if placed:
@@ -115,9 +133,9 @@ class CuckooMshrFile:
                 self._victim_state * 6364136223846793005 + 1442695040888963407
             ) % (1 << 64)
             way = (self._victim_state >> 33) % self.n_ways
-            slot = self._slot(way, carried.line_addr)
-            resident = self._tables[way][slot]
-            self._tables[way][slot] = carried
+            slot = slots[way]
+            resident = tables[way][slot]
+            tables[way][slot] = carried
             path.append((way, slot))
             carried = resident
         # Kick chain too long: unwind the displacements in reverse so the
@@ -133,11 +151,10 @@ class CuckooMshrFile:
 
     def remove(self, line_addr):
         """Free the entry for *line_addr* (line returned and drained)."""
-        for way in range(self.n_ways):
-            slot = self._slot(way, line_addr)
-            entry = self._tables[way][slot]
+        for table, slot in zip(self._tables, self._slots(line_addr)):
+            entry = table[slot]
             if entry is not None and entry.line_addr == line_addr:
-                self._tables[way][slot] = None
+                table[slot] = None
                 self.occupancy -= 1
                 return entry
         raise KeyError(f"no MSHR for line {line_addr:#x}")

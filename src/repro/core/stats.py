@@ -1,0 +1,133 @@
+"""Engine activity statistics: per-component tick/wake accounting.
+
+The demand-driven engine (:mod:`repro.sim.engine`) counts how often
+each component was woken and ticked; this module aggregates those
+counters into scheduler-efficiency summaries -- per run, per component
+class, and merged across the points of a sweep (the parallel sweep
+runner returns one :class:`EngineActivity` per point and sums them).
+
+The headline number is the *tick fraction*: ticks actually executed
+divided by the ``cycles x components`` an all-tick engine would have
+executed.  It is the demand-driven engine's saved work, and it is
+purely a scheduling metric -- cycle results are bit-identical between
+the two engines.
+"""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class EngineActivity:
+    """Scheduler-efficiency counters for one run (or a merged sweep)."""
+
+    cycles_simulated: int = 0
+    cycles_skipped: int = 0
+    component_ticks: int = 0
+    component_wakes: int = 0
+    # Sum over runs of cycles_simulated * n_components: the tick count
+    # an all-tick engine would have executed.  Kept as a plain sum so
+    # runs with different component counts merge correctly.
+    all_tick_equivalent: int = 0
+    runs: int = 0
+
+    @classmethod
+    def from_engine(cls, engine):
+        """Snapshot the counters of one engine after a run."""
+        return cls(
+            cycles_simulated=engine.cycles_simulated,
+            cycles_skipped=engine.cycles_skipped,
+            component_ticks=engine.component_ticks,
+            component_wakes=engine.component_wakes,
+            all_tick_equivalent=(
+                engine.cycles_simulated * len(engine._components)
+            ),
+            runs=1,
+        )
+
+    @classmethod
+    def from_dict(cls, data):
+        """Rebuild from :meth:`as_dict` output (e.g. across processes)."""
+        return cls(**data)
+
+    def as_dict(self):
+        return {
+            "cycles_simulated": self.cycles_simulated,
+            "cycles_skipped": self.cycles_skipped,
+            "component_ticks": self.component_ticks,
+            "component_wakes": self.component_wakes,
+            "all_tick_equivalent": self.all_tick_equivalent,
+            "runs": self.runs,
+        }
+
+    def merge(self, other):
+        """Accumulate *other* (an EngineActivity or its dict) in place."""
+        if isinstance(other, dict):
+            other = EngineActivity.from_dict(other)
+        self.cycles_simulated += other.cycles_simulated
+        self.cycles_skipped += other.cycles_skipped
+        self.component_ticks += other.component_ticks
+        self.component_wakes += other.component_wakes
+        self.all_tick_equivalent += other.all_tick_equivalent
+        self.runs += other.runs
+        return self
+
+    @property
+    def cycles_total(self):
+        """Cycles covered including the idle windows jumped over."""
+        return self.cycles_simulated + self.cycles_skipped
+
+    @property
+    def tick_fraction(self):
+        """Executed ticks as a share of the all-tick equivalent."""
+        if not self.all_tick_equivalent:
+            return 0.0
+        return self.component_ticks / self.all_tick_equivalent
+
+    @property
+    def ticks_avoided(self):
+        return self.all_tick_equivalent - self.component_ticks
+
+    def summary_line(self, jobs=None):
+        """One-line scheduler summary for reports and benchmark logs."""
+        parts = [
+            f"engine: {self.cycles_simulated:,} cycles simulated",
+            f"{self.cycles_skipped:,} fast-forwarded",
+            f"ticks {self.component_ticks:,}"
+            f"/{self.all_tick_equivalent:,}"
+            f" ({100.0 * self.tick_fraction:.1f}% of all-tick)",
+            f"wakes {self.component_wakes:,}",
+        ]
+        if self.runs > 1:
+            parts.append(f"{self.runs} runs")
+        if jobs is not None:
+            parts.append(f"jobs={jobs}")
+        return ", ".join(parts)
+
+
+@dataclass
+class ComponentActivity:
+    """Tick/wake counters for one component class."""
+
+    kind: str
+    count: int = 0
+    ticks: int = 0
+    wakes: int = 0
+
+
+def component_breakdown(engine):
+    """Per-component-class tick/wake rows, busiest class first.
+
+    Every :class:`repro.sim.Component` carries ``ticks`` and ``wakes``
+    counters maintained by the engine; this groups them by class for
+    "who is still ticking" diagnostics.
+    """
+    by_kind = {}
+    for component in engine._components:
+        kind = type(component).__name__
+        entry = by_kind.get(kind)
+        if entry is None:
+            entry = by_kind[kind] = ComponentActivity(kind)
+        entry.count += 1
+        entry.ticks += component.ticks
+        entry.wakes += component.wakes
+    return sorted(by_kind.values(), key=lambda e: -e.ticks)

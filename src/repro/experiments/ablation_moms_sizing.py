@@ -18,7 +18,7 @@ the knobs DESIGN.md calls out:
 import copy
 
 from repro.accel.config import named_architectures
-from repro.experiments.common import bench_graph, run_point
+from repro.experiments.common import SweepPoint, bench_graph, run_sweep
 from repro.mem.dram import DramTimings
 from repro.report import format_table
 
@@ -27,58 +27,57 @@ def _base(n_channels=2):
     return named_architectures("scc", n_channels)["16/16 two-level"]
 
 
-def sweep_mshrs(graph, quick, factors=(1 / 16, 1 / 4, 1, 4)):
-    rows = []
+def mshr_points(graph_key, quick, factors=(1 / 16, 1 / 4, 1, 4)):
+    points = []
     for factor in factors:
         config = copy.deepcopy(_base())
         config.structure_scale = config.structure_scale * factor
-        _, result = run_point(graph, "scc", config, quick)
         mshrs = int(4096 * config.structure_scale)
-        rows.append({
-            "sweep": "MSHRs/bank",
-            "value": max(16, mshrs),
-            "GTEPS": result.gteps,
-            "DRAM lines": result.stats["dram_lines_single"],
-        })
-    return rows
+        points.append((
+            SweepPoint(graph_key, "scc", config, quick),
+            {"sweep": "MSHRs/bank", "value": max(16, mshrs)},
+        ))
+    return points
 
 
-def sweep_latency(graph, quick, latencies=(40, 150, 400)):
-    rows = []
+def latency_points(graph_key, quick, latencies=(40, 150, 400)):
+    points = []
     for latency in latencies:
         config = copy.deepcopy(_base())
         config.dram_timings = DramTimings(latency=latency)
-        _, result = run_point(graph, "scc", config, quick)
-        rows.append({
-            "sweep": "DRAM latency (cycles)",
-            "value": latency,
-            "GTEPS": result.gteps,
-            "DRAM lines": result.stats["dram_lines_single"],
-        })
-    return rows
+        points.append((
+            SweepPoint(graph_key, "scc", config, quick),
+            {"sweep": "DRAM latency (cycles)", "value": latency},
+        ))
+    return points
 
 
-def sweep_banks(graph, quick, bank_counts=(4, 8, 16)):
-    rows = []
+def bank_points(graph_key, quick, bank_counts=(4, 8, 16)):
+    points = []
     for n_banks in bank_counts:
         config = copy.deepcopy(_base())
         config.design = config.design.with_(n_banks=n_banks)
-        _, result = run_point(graph, "scc", config, quick)
-        rows.append({
-            "sweep": "shared banks",
-            "value": n_banks,
-            "GTEPS": result.gteps,
-            "DRAM lines": result.stats["dram_lines_single"],
-        })
-    return rows
+        points.append((
+            SweepPoint(graph_key, "scc", config, quick),
+            {"sweep": "shared banks", "value": n_banks},
+        ))
+    return points
 
 
 def run(quick=True, graph_key="RV"):
     graph = bench_graph(graph_key, quick)
-    rows = []
-    rows += sweep_mshrs(graph, quick)
-    rows += sweep_latency(graph, quick)
-    rows += sweep_banks(graph, quick)
+    tagged = (
+        mshr_points(graph_key, quick)
+        + latency_points(graph_key, quick)
+        + bank_points(graph_key, quick)
+    )
+    results = run_sweep([point for point, _ in tagged])
+    rows = [
+        dict(label,
+             GTEPS=result.gteps,
+             **{"DRAM lines": result.stats["dram_lines_single"]})
+        for (_, label), result in zip(tagged, results)
+    ]
     text = format_table(
         rows,
         title=f"Ablation -- MOMS sizing on SCC/{graph_key} "

@@ -1,8 +1,19 @@
-"""Shared plumbing for the per-figure experiment modules."""
+"""Shared plumbing for the per-figure experiment modules.
+
+Besides graph/budget helpers, this module hosts the **parallel sweep
+runner**: every figure is a list of independent (graph, algorithm,
+architecture) points, so :func:`run_points` evaluates them over a
+``ProcessPoolExecutor`` with ``REPRO_JOBS`` workers (serial with
+``REPRO_JOBS=1``), preserving the serial row order exactly -- each
+point simulates the same deterministic system either way, so results
+are identical, only wall-clock changes.
+"""
 
 import os
+from dataclasses import dataclass, field
 
 from repro.accel.system import AcceleratorSystem
+from repro.core.stats import EngineActivity
 from repro.graph.datasets import load_benchmark
 
 
@@ -53,3 +64,106 @@ def run_point(graph, algorithm, config, quick=True, use_hashing=True,
         max_iterations=iteration_budget(algorithm, quick)
     )
     return system, result
+
+
+# -- parallel sweep runner ---------------------------------------------------
+
+
+def default_jobs():
+    """Worker count for sweeps: ``REPRO_JOBS`` env, else the CPU count."""
+    env = os.environ.get("REPRO_JOBS", "").strip()
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            raise ValueError(
+                f"REPRO_JOBS must be an integer, got {env!r}"
+            ) from None
+    return os.cpu_count() or 1
+
+
+def run_points(worker, points, jobs=None):
+    """Evaluate ``worker(point)`` for every point, preserving order.
+
+    With ``jobs > 1`` (default: :func:`default_jobs`) the points run in
+    a ``ProcessPoolExecutor``; ``worker`` must be a module-level
+    callable and both points and results must pickle.  The returned
+    list is always in input order, so sweep rows come out identical to
+    the serial path.  ``REPRO_JOBS=1`` (or a single point) keeps
+    everything in-process.
+    """
+    points = list(points)
+    if jobs is None:
+        jobs = default_jobs()
+    if jobs <= 1 or len(points) <= 1:
+        return [worker(point) for point in points]
+    from concurrent.futures import ProcessPoolExecutor
+
+    with ProcessPoolExecutor(max_workers=min(jobs, len(points))) as pool:
+        return list(pool.map(worker, points))
+
+
+@dataclass
+class SweepPoint:
+    """One picklable simulation point of a figure sweep.
+
+    The graph is reloaded by key inside the worker process (benchmark
+    graphs are generated deterministically, so this is cheap and avoids
+    shipping edge arrays through pickles).  ``budget_quick`` overrides
+    the iteration-budget switch independently of the graph scale (only
+    Fig. 1 uses that).
+    """
+
+    graph_key: str
+    algorithm: str
+    config: object
+    quick: bool = True
+    budget_quick: bool = None
+    use_hashing: bool = True
+    use_dbg: bool = False
+    source: int = 0
+
+    def load_graph(self):
+        return bench_graph(self.graph_key, self.quick)
+
+
+def simulate_point(point):
+    """Module-level sweep worker: returns (RunResult, activity dict)."""
+    budget_quick = point.budget_quick
+    if budget_quick is None:
+        budget_quick = point.quick
+    system, result = run_point(
+        point.load_graph(), point.algorithm, point.config,
+        quick=budget_quick, use_hashing=point.use_hashing,
+        use_dbg=point.use_dbg, source=point.source,
+    )
+    return result, EngineActivity.from_engine(system.engine).as_dict()
+
+
+# Engine-activity tally across every sweep run in this process; the
+# CLI and the benchmark harness print its summary line after each
+# experiment (see repro.report.engine_summary_line).
+_SWEEP_ACTIVITY = EngineActivity()
+
+
+def sweep_activity():
+    return _SWEEP_ACTIVITY
+
+
+def reset_sweep_activity():
+    global _SWEEP_ACTIVITY
+    _SWEEP_ACTIVITY = EngineActivity()
+    return _SWEEP_ACTIVITY
+
+
+def run_sweep(points, jobs=None):
+    """Run a figure's points (possibly in parallel); list of RunResults.
+
+    Engine-activity counters from every point -- local or from worker
+    processes -- are merged into the process-wide tally.
+    """
+    results = []
+    for result, activity in run_points(simulate_point, points, jobs):
+        _SWEEP_ACTIVITY.merge(activity)
+        results.append(result)
+    return results

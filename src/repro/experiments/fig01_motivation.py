@@ -14,21 +14,30 @@ workload for four memory idioms:
 import numpy as np
 
 from repro.accel.config import ArchitectureConfig, SCALED_DEFAULTS, _design
-from repro.experiments.common import bench_graph, run_point
+from repro.experiments.common import SweepPoint, bench_graph, run_sweep
 from repro.fabric.design import MOMS_TRADITIONAL, MOMS_TWO_LEVEL
 from repro.report import format_table
 
 
 def run(quick=True, graph_key="RV"):
     graph = bench_graph(graph_key, quick)
-    rows = []
 
-    def measured(organization, label):
+    def point(organization):
         config = ArchitectureConfig(
             _design(4, 4, organization, "pagerank", n_channels=2),
             **SCALED_DEFAULTS,
         )
-        system, result = run_point(graph, "pagerank", config, quick=True)
+        # budget_quick=True: the motivation plot always uses the short
+        # iteration budget, whatever the graph scale.
+        return SweepPoint(graph_key, "pagerank", config, quick,
+                          budget_quick=True)
+
+    measured = run_sweep([
+        point(MOMS_TRADITIONAL), point(MOMS_TWO_LEVEL),
+    ])
+    rows = []
+    for label, result in zip(
+            ("traditional cache", "MOMS (two-level)"), measured):
         reads = result.stats["moms_reads"]
         lines = result.stats["dram_lines_single"]
         rows.append({
@@ -37,9 +46,6 @@ def run(quick=True, graph_key="RV"):
             "DRAM lines": lines,
             "lines/read": lines / reads if reads else 0.0,
         })
-
-    measured(MOMS_TRADITIONAL, "traditional cache")
-    measured(MOMS_TWO_LEVEL, "MOMS (two-level)")
 
     # Scratchpad tiling: the paper-scale ratio of tile size to node set
     # is ~1:1000 (32k-node tiles vs tens of millions of nodes); keep the

@@ -11,10 +11,10 @@ traditional caches stay competitive on the high-locality web crawls.
 
 from repro.accel.config import named_architectures
 from repro.experiments.common import (
-    bench_graph,
+    SweepPoint,
     quick_benchmarks,
     quick_channels,
-    run_point,
+    run_sweep,
 )
 from repro.report import format_table, geomean
 
@@ -33,21 +33,28 @@ def run(quick=True, algorithms=("pagerank", "scc", "sssp"),
     if n_channels is None:
         n_channels = quick_channels(quick)
     benchmarks = quick_benchmarks(quick)
-    rows = []
+    points = []
+    labels = []  # (algorithm, architecture) per row of the sweep
     for algorithm in algorithms:
         architectures = named_architectures(algorithm, n_channels)
         names = QUICK_ARCHS if quick else tuple(architectures)
         for name in names:
             config = architectures[name]
-            gteps = {}
-            for key in benchmarks:
-                graph = bench_graph(key, quick)
-                _, result = run_point(graph, algorithm, config, quick)
-                gteps[key] = result.gteps
-            row = {"algorithm": algorithm, "architecture": name}
-            row.update({key: gteps[key] for key in benchmarks})
-            row["geomean"] = geomean(list(gteps.values()))
-            rows.append(row)
+            labels.append((algorithm, name))
+            points.extend(
+                SweepPoint(key, algorithm, config, quick)
+                for key in benchmarks
+            )
+    results = run_sweep(points)
+    rows = []
+    for index, (algorithm, name) in enumerate(labels):
+        chunk = results[index * len(benchmarks):(index + 1) * len(benchmarks)]
+        gteps = {key: result.gteps
+                 for key, result in zip(benchmarks, chunk)}
+        row = {"algorithm": algorithm, "architecture": name}
+        row.update({key: gteps[key] for key in benchmarks})
+        row["geomean"] = geomean(list(gteps.values()))
+        rows.append(row)
     text = format_table(
         rows, title="Fig. 11 -- GTEPS by architecture and benchmark"
     )

@@ -9,10 +9,10 @@ MSHRs replace the cache array.
 
 from repro.accel.config import named_architectures
 from repro.experiments.common import (
-    bench_graph,
+    SweepPoint,
     quick_benchmarks,
     quick_channels,
-    run_point,
+    run_sweep,
 )
 from repro.report import format_table
 
@@ -34,21 +34,26 @@ def run(quick=True, n_channels=None):
     if n_channels is None:
         n_channels = quick_channels(quick)
     benchmarks = quick_benchmarks(quick)
-    rows = []
+    points = []
+    labels = []
     for name in ARCHS:
         base = named_architectures("scc", n_channels)[name]
         for variant, config in (("with cache", base),
                                 ("no cache", cacheless(base))):
             for key in benchmarks:
-                graph = bench_graph(key, quick)
-                _, result = run_point(graph, "scc", config, quick)
-                rows.append({
-                    "architecture": name,
-                    "caches": variant,
-                    "benchmark": key,
-                    "hit rate": result.hit_rate,
-                    "GTEPS": result.gteps,
-                })
+                labels.append((name, variant, key))
+                points.append(SweepPoint(key, "scc", config, quick))
+    rows = [
+        {
+            "architecture": name,
+            "caches": variant,
+            "benchmark": key,
+            "hit rate": result.hit_rate,
+            "GTEPS": result.gteps,
+        }
+        for (name, variant, key), result
+        in zip(labels, run_sweep(points))
+    ]
     text = format_table(
         rows, title="Fig. 12 -- SCC throughput vs cache hit rate"
     )

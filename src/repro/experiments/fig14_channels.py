@@ -11,7 +11,12 @@ crossings); FabGraph's internal L1<->L2 bandwidth caps its scaling.
 
 from repro.accel.config import named_architectures
 from repro.baselines.fabgraph import FabGraphModel
-from repro.experiments.common import bench_graph, quick_benchmarks, run_point
+from repro.experiments.common import (
+    SweepPoint,
+    bench_graph,
+    quick_benchmarks,
+    run_sweep,
+)
 from repro.report import format_table
 
 CHANNELS = (1, 2, 4)
@@ -22,25 +27,36 @@ def run(quick=True, arch_name="16/16 two-level"):
     # FabGraph capacities scaled like our structures (same factor as
     # the benchmark graphs: ~1000x plus the bench-mode shrink).
     fabgraph = FabGraphModel().scaled(1 / 1000 / (6 if quick else 1))
-    rows = []
+    points = []
+    labels = []
     for algorithm in ("pagerank", "scc"):
         for key in benchmarks:
-            graph = bench_graph(key, quick)
-            row = {"algorithm": algorithm, "benchmark": key}
-            for n_channels in CHANNELS:
-                config = named_architectures(algorithm,
-                                             n_channels)[arch_name]
-                _, result = run_point(graph, algorithm, config, quick)
-                row[f"{n_channels}ch"] = result.gteps
-            if algorithm == "pagerank":
-                for n_channels in CHANNELS:
-                    row[f"FabGraph {n_channels}ch"] = fabgraph.pagerank_gteps(
-                        graph.n_nodes, graph.n_edges, n_channels
-                    )
-            row["scaling 1->4"] = (
-                row["4ch"] / row["1ch"] if row["1ch"] else 0.0
+            labels.append((algorithm, key))
+            points.extend(
+                SweepPoint(
+                    key, algorithm,
+                    named_architectures(algorithm, n_channels)[arch_name],
+                    quick,
+                )
+                for n_channels in CHANNELS
             )
-            rows.append(row)
+    results = run_sweep(points)
+    rows = []
+    for index, (algorithm, key) in enumerate(labels):
+        graph = bench_graph(key, quick)
+        chunk = results[index * len(CHANNELS):(index + 1) * len(CHANNELS)]
+        row = {"algorithm": algorithm, "benchmark": key}
+        for n_channels, result in zip(CHANNELS, chunk):
+            row[f"{n_channels}ch"] = result.gteps
+        if algorithm == "pagerank":
+            for n_channels in CHANNELS:
+                row[f"FabGraph {n_channels}ch"] = fabgraph.pagerank_gteps(
+                    graph.n_nodes, graph.n_edges, n_channels
+                )
+        row["scaling 1->4"] = (
+            row["4ch"] / row["1ch"] if row["1ch"] else 0.0
+        )
+        rows.append(row)
     text = format_table(
         rows,
         title="Fig. 14 -- GTEPS vs DDR4 channels "

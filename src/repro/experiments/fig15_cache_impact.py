@@ -11,10 +11,10 @@ import copy
 
 from repro.accel.config import ArchitectureConfig, SCALED_DEFAULTS, _design
 from repro.experiments.common import (
-    bench_graph,
+    SweepPoint,
     quick_benchmarks,
     quick_channels,
-    run_point,
+    run_sweep,
 )
 from repro.fabric.design import MOMS_TRADITIONAL, MOMS_TWO_LEVEL
 from repro.report import format_table, geomean
@@ -44,21 +44,28 @@ def run(quick=True, n_channels=None):
     if n_channels is None:
         n_channels = quick_channels(quick)
     benchmarks = quick_benchmarks(quick)
-    rows = []
+    points = []
+    labels = []
     for organization, label in ((MOMS_TWO_LEVEL, "20/8 two-level MOMS"),
                                 (MOMS_TRADITIONAL, "20/8 traditional")):
         for variant, private_kib, shared_kib in VARIANTS:
             config = make_config(organization, private_kib, shared_kib,
                                  n_channels)
-            per_bench = {}
-            for key in benchmarks:
-                graph = bench_graph(key, quick)
-                _, result = run_point(graph, "scc", config, quick)
-                per_bench[key] = result.gteps
-            row = {"architecture": label, "caches": variant}
-            row.update(per_bench)
-            row["geomean"] = geomean(list(per_bench.values()))
-            rows.append(row)
+            labels.append((label, variant))
+            points.extend(
+                SweepPoint(key, "scc", config, quick)
+                for key in benchmarks
+            )
+    results = run_sweep(points)
+    rows = []
+    for index, (label, variant) in enumerate(labels):
+        chunk = results[index * len(benchmarks):(index + 1) * len(benchmarks)]
+        per_bench = {key: result.gteps
+                     for key, result in zip(benchmarks, chunk)}
+        row = {"architecture": label, "caches": variant}
+        row.update(per_bench)
+        row["geomean"] = geomean(list(per_bench.values()))
+        rows.append(row)
     # Relative drop without any cache arrays.
     for label in ("20/8 two-level MOMS", "20/8 traditional"):
         full = next(r for r in rows

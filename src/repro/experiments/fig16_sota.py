@@ -13,10 +13,11 @@ from repro.baselines.cpu import graphmat_model, ligra_model
 from repro.baselines.fabgraph import FabGraphModel
 from repro.baselines.gpu import GpuFrameworkModel
 from repro.experiments.common import (
+    SweepPoint,
     bench_graph,
     quick_benchmarks,
     quick_channels,
-    run_point,
+    run_sweep,
 )
 from repro.graph.datasets import BENCHMARKS
 from repro.report import format_table
@@ -34,13 +35,21 @@ def run(quick=True, algorithms=("pagerank", "scc", "sssp"),
     ligra = ligra_model()
     graphmat = graphmat_model()
     gunrock = GpuFrameworkModel()
+    points = [
+        SweepPoint(
+            key, algorithm,
+            named_architectures(algorithm, n_channels)[arch_name], quick,
+        )
+        for algorithm in algorithms
+        for key in benchmarks
+    ]
+    results = iter(run_sweep(points))
     rows = []
     for algorithm in algorithms:
-        config = named_architectures(algorithm, n_channels)[arch_name]
         for key in benchmarks:
             graph = bench_graph(key, quick)
             spec = BENCHMARKS[key]
-            _, result = run_point(graph, algorithm, config, quick)
+            result = next(results)
             gpu_fits = gunrock.fits_in_memory(
                 spec.paper_n, spec.paper_m, weighted=algorithm == "sssp"
             )

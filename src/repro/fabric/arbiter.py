@@ -11,6 +11,8 @@ class RoundRobinArbiter(Component):
     fair arbiters used throughout the paper's interconnect (Fig. 7).
     """
 
+    demand_driven = True
+
     def __init__(self, inputs, output, name="arbiter"):
         if not inputs:
             raise ValueError("arbiter needs at least one input")
@@ -19,17 +21,31 @@ class RoundRobinArbiter(Component):
         self.name = name
         self._next = 0
         self.grants = [0] * len(self.inputs)
+        # Wake on new input tokens or freed output space.  A granted
+        # transfer dirties both channels, so their commits re-arm the
+        # next tick while traffic keeps flowing.
+        for channel in self.inputs:
+            channel.subscribe_data(self)
+        output.subscribe_space(self)
 
     def tick(self, engine):
-        # Hot path: direct _ready checks avoid per-input method calls.
+        # Hot path: direct _ready checks and inline capacity arithmetic
+        # avoid per-input method calls.
         inputs = self.inputs
+        output = self.output
         n = len(inputs)
-        for offset in range(n):
-            index = (self._next + offset) % n
-            if inputs[index]._ready:
-                if not self.output.can_push():
+        index = self._next
+        for _ in range(n):
+            if index >= n:
+                index -= n
+            channel = inputs[index]
+            if channel._ready:
+                if output._occupancy_at_cycle_start \
+                        + len(output._staged) >= output.capacity:
                     return
-                self.output.push(inputs[index].pop())
+                output.push(channel.pop())
                 self.grants[index] += 1
-                self._next = (index + 1) % n
+                index += 1
+                self._next = index if index < n else 0
                 return
+            index += 1

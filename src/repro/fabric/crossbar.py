@@ -18,6 +18,8 @@ class Crossbar(Component):
     most one token, using per-output round-robin pointers.
     """
 
+    demand_driven = True
+
     def __init__(self, inputs, outputs, route, name="xbar"):
         if not inputs or not outputs:
             raise ValueError("crossbar needs inputs and outputs")
@@ -28,6 +30,13 @@ class Crossbar(Component):
         self._pointers = [0] * len(self.outputs)
         self.transfers = 0
         self.conflict_cycles = 0
+        # Wake on any new input token or any freed output port; every
+        # grant dirties the winning input and its output, whose commits
+        # keep the crossbar armed while tokens remain.
+        for channel in self.inputs:
+            channel.subscribe_data(self)
+        for channel in self.outputs:
+            channel.subscribe_space(self)
 
     def tick(self, engine):
         # Each input's head token has exactly one destination, so one
@@ -43,14 +52,18 @@ class Crossbar(Component):
                 buckets.setdefault(out_index, []).append(in_index)
         if buckets is None:
             return
+        pointers = self._pointers
         for out_index, contenders in buckets.items():
             output = self.outputs[out_index]
-            if not output.can_push():
+            if output._occupancy_at_cycle_start \
+                    + len(output._staged) >= output.capacity:
                 continue
-            pointer = self._pointers[out_index]
-            winner = min(contenders, key=lambda i: (i - pointer) % n_in)
-            output.push(self.inputs[winner].pop())
-            self._pointers[out_index] = (winner + 1) % n_in
-            self.transfers += 1
-            if len(contenders) > 1:
+            if len(contenders) == 1:
+                winner = contenders[0]
+            else:
+                pointer = pointers[out_index]
+                winner = min(contenders, key=lambda i: (i - pointer) % n_in)
                 self.conflict_cycles += 1
+            output.push(self.inputs[winner].pop())
+            pointers[out_index] = winner + 1 if winner + 1 < n_in else 0
+            self.transfers += 1

@@ -23,6 +23,8 @@ class DieCrossing(Component):
     drops or stalls mid-flight.
     """
 
+    demand_driven = True
+
     def __init__(self, engine, inp, out, hops=1, name="crossing"):
         if hops < 1:
             raise ValueError("a die crossing spans at least one boundary")
@@ -39,6 +41,11 @@ class DieCrossing(Component):
         )
         self.total_crossed = 0
         engine.add_component(self)
+        # Wake on new tokens to cross, on register stages maturing, and
+        # on freed space in the receive queue (which also frees credits).
+        inp.subscribe_data(self)
+        self._line.subscribe_data(self)
+        out.subscribe_space(self)
 
     def _credits_available(self):
         # Tokens in the registers plus tokens already waiting in the
@@ -49,11 +56,16 @@ class DieCrossing(Component):
         # Hot path: runs every cycle for every crossing; reach into the
         # primitives directly to avoid method-call overhead.
         line = self._line
-        if line._in_flight:
-            if line._in_flight[0][0] <= engine.now and self.out.can_push():
-                self.out.push(line.pop())
-                self.total_crossed += 1
-        if self.inp._ready and self._credits_available():
+        flight = line._in_flight
+        out = self.out
+        if flight and flight[0][0] <= engine.now \
+                and out._occupancy_at_cycle_start + len(out._staged) \
+                < out.capacity:
+            out.push(flight.popleft()[1])
+            self.total_crossed += 1
+        if self.inp._ready \
+                and len(flight) + len(out._ready) + len(out._staged) \
+                < out.capacity:
             line.push(self.inp.pop())
 
     def is_idle(self):

@@ -46,7 +46,7 @@ class DramTimings:
         raise ValueError(f"unknown request kind {kind!r}")
 
 
-@dataclass
+@dataclass(slots=True)
 class MemRequest:
     """A read or write request against the global address space.
 
@@ -76,7 +76,7 @@ class MemRequest:
         return -(-self.nbytes // LINE_BYTES)
 
 
-@dataclass
+@dataclass(slots=True)
 class MemResponse:
     """One 64-byte beat of read data, or a write acknowledgement."""
 
@@ -105,6 +105,8 @@ class DramStats:
 class DramChannel(Component):
     """One DDR4 channel: request queue, data bus, fixed-latency responses."""
 
+    demand_driven = True
+
     def __init__(self, timings, store, name="dram"):
         self.timings = timings
         self.store = store
@@ -119,11 +121,36 @@ class DramChannel(Component):
         engine.add_channel(self.req)
         engine.add_component(self)
         engine.add_time_source(self)
+        # New requests wake the channel at their visibility cycle;
+        # response maturity is re-armed per tick (see _arm).
+        self.req.subscribe_data(self)
         return self
 
     def tick(self, engine):
-        self._deliver(engine)
+        delivered = self._deliver(engine)
         self._accept(engine)
+        self._arm(engine, delivered)
+
+    def _arm(self, engine, delivered):
+        """Schedule the wake for the head of the response queue.
+
+        A head maturing in the future sets a timer; a head that is due
+        but undelivered was either rate-limited this cycle (re-arm next
+        cycle) or blocked on a full requester FIFO (one-shot space wake
+        from that FIFO's next commit).  Queued requests need no arming
+        here: popping the request FIFO dirties it, and its commit
+        re-fires the data subscription while tokens remain.
+        """
+        if not self._scheduled:
+            return
+        head_time, _, respond_to = self._scheduled[0]
+        if head_time > engine.now:
+            engine.wake_at(self, head_time)
+        elif delivered >= self.timings.max_deliveries_per_cycle \
+                or respond_to is None:
+            engine.wake(self)
+        else:
+            respond_to.request_space_wake(self)
 
     def next_event_time(self):
         """Next cycle at which a scheduled response becomes ready."""
@@ -139,22 +166,37 @@ class DramChannel(Component):
     def _deliver(self, engine):
         delivered = 0
         limit = self.timings.max_deliveries_per_cycle
-        while (
-            delivered < limit
-            and self._scheduled
-            and self._scheduled[0][0] <= engine.now
-        ):
-            _, response, respond_to = self._scheduled[0]
-            if respond_to is not None:
-                if not respond_to.can_push():
-                    break  # head-of-line blocking at the requester
+        scheduled = self._scheduled
+        now = engine.now
+        store = self.store
+        while delivered < limit and scheduled and scheduled[0][0] <= now:
+            _, response, respond_to = scheduled[0]
+            if respond_to is None:
+                scheduled.popleft()
+                delivered += 1
+                continue
+            space = respond_to.free_slots()
+            if space <= 0:
+                break  # head-of-line blocking at the requester
+            # Consecutive due beats bound for the same requester move as
+            # one push_many (one capacity check, one dirty registration)
+            # -- clamped to free space so partial delivery still happens
+            # exactly as with per-beat pushes.
+            batch = []
+            while (
+                len(batch) < space
+                and delivered + len(batch) < limit
+                and scheduled
+                and scheduled[0][0] <= now
+                and scheduled[0][2] is respond_to
+            ):
+                _, response, _ = scheduled.popleft()
                 if response.data is None and not response.is_write_ack:
-                    response.data = self.store.read_bytes(
-                        response.addr, LINE_BYTES
-                    )
-                respond_to.push(response)
-            self._scheduled.popleft()
-            delivered += 1
+                    response.data = store.read_bytes(response.addr, LINE_BYTES)
+                batch.append(response)
+            respond_to.push_many(batch)
+            delivered += len(batch)
+        return delivered
 
     def _accept(self, engine):
         if not self.req.can_pop():

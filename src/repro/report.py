@@ -38,6 +38,28 @@ def format_table(rows, columns=None, title=None, floatfmt="{:.3f}"):
     return "\n".join(lines)
 
 
+def engine_summary_line(activity=None, jobs=None):
+    """One-line scheduler-efficiency summary for experiment logs.
+
+    With no arguments, reports the process-wide sweep tally (every
+    point run through ``repro.experiments.common.run_sweep``, local or
+    in worker processes) and the active ``REPRO_JOBS`` worker count.
+    ``activity`` may be an :class:`repro.core.stats.EngineActivity` or
+    its ``as_dict()`` form.
+    """
+    from repro.core.stats import EngineActivity
+
+    if activity is None:
+        from repro.experiments.common import default_jobs, sweep_activity
+
+        activity = sweep_activity()
+        if jobs is None:
+            jobs = default_jobs()
+    if isinstance(activity, dict):
+        activity = EngineActivity.from_dict(activity)
+    return activity.summary_line(jobs=jobs)
+
+
 def geomean(values):
     """Geometric mean, ignoring non-positive entries."""
     import math

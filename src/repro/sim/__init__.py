@@ -10,7 +10,13 @@ component is stalled on a pending latency are skipped in O(1).
 """
 
 from repro.sim.channel import Channel, DelayLine
-from repro.sim.engine import Component, DeadlockError, Engine
+from repro.sim.engine import (
+    Component,
+    DeadlockError,
+    Engine,
+    LegacyEngine,
+    make_engine,
+)
 
 __all__ = [
     "Channel",
@@ -18,4 +24,6 @@ __all__ = [
     "DeadlockError",
     "DelayLine",
     "Engine",
+    "LegacyEngine",
+    "make_engine",
 ]

@@ -6,6 +6,13 @@ consumer in cycle ``t + 1`` (channel) or ``t + latency`` (delay line).
 Capacity accounting is also registered -- a slot freed by a pop in cycle
 ``t`` can only be reused in cycle ``t + 1`` -- so simulation results do
 not depend on the order in which components are ticked within a cycle.
+
+For the demand-driven engine, channels are also the wake fabric:
+components subscribe to *data* (tokens visible) and *space* (capacity
+free) conditions, and every end-of-cycle :meth:`Channel.commit` wakes
+the subscribers whose condition holds.  Because commits only run on
+channels touched during the cycle, wake traffic is proportional to
+actual token movement.
 """
 
 from collections import deque
@@ -31,6 +38,9 @@ class Channel:
         self._occupancy_at_cycle_start = 0
         self._engine = None
         self._dirty = False  # touched this cycle -> needs commit
+        self._data_subs = []  # consumers woken when tokens are visible
+        self._space_subs = []  # producers woken when capacity is free
+        self._space_requests = []  # one-shot space wakes
         # Lifetime statistics, useful for utilization reports.
         self.total_pushed = 0
         self.total_popped = 0
@@ -38,6 +48,32 @@ class Channel:
     def bind(self, engine):
         """Attach this channel to an engine (done by Engine.add_channel)."""
         self._engine = engine
+
+    # -- wake wiring --------------------------------------------------------
+
+    def subscribe_data(self, component):
+        """Wake *component* whenever a commit leaves tokens visible."""
+        if component not in self._data_subs:
+            self._data_subs.append(component)
+        return self
+
+    def subscribe_space(self, component):
+        """Wake *component* whenever a commit leaves free capacity."""
+        if component not in self._space_subs:
+            self._space_subs.append(component)
+        return self
+
+    def request_space_wake(self, component):
+        """One-shot: wake *component* at the next commit with free space.
+
+        For producers with data-dependent targets (e.g. a DRAM channel
+        delivering to whichever requester is at the head of its
+        schedule) where a static subscription would over-wake.
+        """
+        if component not in self._space_requests:
+            self._space_requests.append(component)
+
+    # -- producer side ------------------------------------------------------
 
     def can_push(self):
         """True if a push this cycle would not exceed capacity."""
@@ -49,11 +85,22 @@ class Channel:
         occupancy = self._occupancy_at_cycle_start + len(self._staged)
         return occupancy + n <= self.capacity
 
+    def free_slots(self):
+        """Number of pushes still accepted this cycle."""
+        return self.capacity - self._occupancy_at_cycle_start \
+            - len(self._staged)
+
+    def _touch(self, engine):
+        if not self._dirty:
+            self._dirty = True
+            engine._dirty_channels.append(self)
+
     def push(self, item):
         """Stage *item*; it becomes poppable next cycle."""
-        if not self.can_push():
+        staged = self._staged
+        if self._occupancy_at_cycle_start + len(staged) >= self.capacity:
             raise OverflowError(f"push to full channel {self.name!r}")
-        self._staged.append(item)
+        staged.append(item)
         self.total_pushed += 1
         engine = self._engine
         if engine is not None:
@@ -61,6 +108,31 @@ class Channel:
             if not self._dirty:
                 self._dirty = True
                 engine._dirty_channels.append(self)
+
+    def push_many(self, items):
+        """Stage several tokens in one call (one capacity check).
+
+        The hot-path variant of :meth:`push` for producers that emit
+        bursts -- e.g. a DRAM channel delivering several beats to one
+        requester per cycle -- saving per-token bookkeeping.
+        """
+        n = len(items)
+        if n == 0:
+            return
+        if not self.can_push_n(n):
+            raise OverflowError(
+                f"push of {n} tokens to full channel {self.name!r}"
+            )
+        self._staged.extend(items)
+        self.total_pushed += n
+        engine = self._engine
+        if engine is not None:
+            engine._active = True
+            if not self._dirty:
+                self._dirty = True
+                engine._dirty_channels.append(self)
+
+    # -- consumer side ------------------------------------------------------
 
     def can_pop(self):
         """True if a token is available this cycle."""
@@ -82,18 +154,50 @@ class Channel:
                 engine._dirty_channels.append(self)
         return item
 
+    # -- end of cycle -------------------------------------------------------
+
     def commit(self):
         """End-of-cycle update; called by the engine on dirty channels."""
-        if self._staged:
-            self._ready.extend(self._staged)
-            self._staged.clear()
-            if self._engine is not None:
+        engine = self._engine
+        staged = self._staged
+        if staged:
+            self._ready.extend(staged)
+            staged.clear()
+            if engine is not None:
                 # Newly visible tokens enable progress next cycle even if
                 # nothing else happened; don't let the engine fast-forward
                 # or declare deadlock past them.
-                self._engine.mark_active()
-        self._occupancy_at_cycle_start = len(self._ready)
+                engine._active = True
+        occupancy = len(self._ready)
+        self._occupancy_at_cycle_start = occupancy
         self._dirty = False
+        if engine is None:
+            return
+        # Engine.wake() inlined: this loop runs for every token movement
+        # in the system, so the call and dedup cost is worth flattening.
+        wake = engine._wake_next
+        if occupancy and self._data_subs:
+            for component in self._data_subs:
+                order = component._engine_order
+                if order not in wake:
+                    wake[order] = component
+                    engine.component_wakes += 1
+                    component.wakes += 1
+        if occupancy < self.capacity:
+            for component in self._space_subs:
+                order = component._engine_order
+                if order not in wake:
+                    wake[order] = component
+                    engine.component_wakes += 1
+                    component.wakes += 1
+            if self._space_requests:
+                for component in self._space_requests:
+                    order = component._engine_order
+                    if order not in wake:
+                        wake[order] = component
+                        engine.component_wakes += 1
+                        component.wakes += 1
+                self._space_requests.clear()
 
     def __len__(self):
         """Number of tokens currently visible to the consumer."""
@@ -109,7 +213,10 @@ class DelayLine:
     """An unbounded pipe that delivers each token ``latency`` cycles later.
 
     Used for memory access latency and die-crossing register stages.
-    Tokens keep FIFO order because the latency is constant.
+    Tokens keep FIFO order because the latency is constant.  When a
+    consumer is subscribed, every push schedules a wake timer for the
+    token's maturity cycle, so the consumer sleeps through the whole
+    latency window.
     """
 
     def __init__(self, latency, name=""):
@@ -119,18 +226,30 @@ class DelayLine:
         self.name = name
         self._in_flight = deque()  # (ready_time, item)
         self._engine = None
+        self._consumer = None
         self.total_pushed = 0
 
     def bind(self, engine):
         self._engine = engine
 
+    def subscribe_data(self, component):
+        """Wake *component* when each token matures (one consumer)."""
+        self._consumer = component
+        return self
+
     def push(self, item):
         """Insert *item*; it becomes poppable ``latency`` cycles from now."""
-        now = self._engine.now if self._engine is not None else 0
-        self._in_flight.append((now + self.latency, item))
+        engine = self._engine
+        now = engine.now if engine is not None else 0
+        ready = now + self.latency
+        self._in_flight.append((ready, item))
         self.total_pushed += 1
-        if self._engine is not None:
-            self._engine.mark_active()
+        if engine is not None:
+            engine.mark_active()
+            if self._consumer is not None:
+                engine.wake_at(self._consumer, ready)
+            else:
+                engine.note_event_at(ready)
 
     def can_pop(self):
         if not self._in_flight:

@@ -1,4 +1,32 @@
-"""The cycle engine: ticks components, commits channels, skips idle time."""
+"""The cycle engine: demand-driven ticking, channel commits, idle skip.
+
+Two scheduling modes share one code base:
+
+* **Demand-driven** (production): a component is ticked only on cycles
+  where it was *woken* -- by a channel delivering tokens or freeing
+  space, by a delay-line token maturing (a timer), or by itself
+  (``engine.wake(self)``) because it holds in-progress work.  Wall-clock
+  cost is proportional to *work*, not cycles x components.  When no
+  component is runnable the engine jumps straight to the earliest
+  scheduled timer, so idle latency windows cost O(log timers).
+* **Legacy** (compatibility): any component that does not declare
+  ``demand_driven = True`` forces the seed behaviour -- every component
+  is ticked every cycle and idle fast-forward happens only on globally
+  inactive cycles.  Simple test harness components keep working
+  unmodified, and :class:`LegacyEngine` forces this mode everywhere so
+  the two kernels can be compared cycle-for-cycle.
+
+Cycle *results* are identical in both modes: demand scheduling only
+skips ticks that are provably no-ops (no visible input tokens, no
+freed space, no matured timer, no declared internal work), so the
+state trajectory over ``engine.now`` -- and therefore every cycle
+count and GTEPS figure -- is bit-identical.  Only the activity
+counters (``cycles_simulated``, ``component_ticks``) differ; they are
+the measure of the saved work.
+"""
+
+import heapq
+import os
 
 
 class DeadlockError(RuntimeError):
@@ -8,10 +36,31 @@ class DeadlockError(RuntimeError):
 class Component:
     """Base class for everything ticked by the engine.
 
-    Subclasses override :meth:`tick`.  A component that has nothing to do
-    simply returns; the engine detects globally idle cycles through
-    channel activity and fast-forwards over them.
+    Subclasses override :meth:`tick`.  Components that set
+    ``demand_driven = True`` are ticked only when woken and must wire
+    their wake conditions (channel subscriptions, timers, or
+    ``engine.wake(self)`` re-arms).  Components that keep the default
+    ``False`` are ticked every cycle, which preserves the seed engine's
+    contract for simple harness components.
     """
+
+    demand_driven = False
+    # Activity counters (class attributes double as zero defaults; the
+    # first increment creates the instance attribute).
+    ticks = 0
+    wakes = 0
+    _engine_order = -1
+    _engine = None  # back-reference, set by Engine.add_component
+
+    def request_wake(self):
+        """Ask to be ticked next cycle (no-op before registration).
+
+        For code outside tick() that mutates component state directly
+        (e.g. queueing jobs between run() calls) and must ensure the
+        component notices even under manual _step() driving.
+        """
+        if self._engine is not None:
+            self._engine.wake(self)
 
     def tick(self, engine):
         """Advance this component by one clock cycle."""
@@ -29,24 +78,41 @@ class Component:
 class Engine:
     """Drives a set of components and channels cycle by cycle.
 
-    The per-cycle order is: tick every component in registration order,
-    then commit every channel.  Registered (next-cycle) channel semantics
-    make results independent of the registration order; the fixed order
-    merely keeps arbitration deterministic.
+    The per-cycle order is: tick the runnable components in
+    registration order, then commit every channel touched this cycle.
+    Registered (next-cycle) channel semantics make results independent
+    of the registration order; the fixed order merely keeps arbitration
+    deterministic.
     """
+
+    _demand_enabled = True
 
     def __init__(self):
         self.now = 0
         self.cycles_simulated = 0
         self.cycles_skipped = 0
+        self.component_ticks = 0
+        self.component_wakes = 0
         self._components = []
+        self._demand_components = []
+        self._always = []  # legacy components, ticked every cycle
         self._channels = []
         self._time_sources = []
         self._dirty_channels = []
         self._active = False
+        self._wake_next = {}  # order -> component, armed for the next step
+        self._timers = []  # heap of (time, order); order -1 = bare event
+
+    # -- registration -------------------------------------------------------
 
     def add_component(self, component):
+        component._engine_order = len(self._components)
+        component._engine = self
         self._components.append(component)
+        if self._demand_enabled and getattr(component, "demand_driven", False):
+            self._demand_components.append(component)
+        else:
+            self._always.append(component)
         return component
 
     def add_channel(self, channel):
@@ -62,20 +128,78 @@ class Engine:
     def add_time_source(self, source):
         """Register any object exposing next_event_time() and .pending.
 
-        Time sources steer idle fast-forward: when a cycle passes with
-        no channel activity the engine jumps to the earliest next event
-        among all registered sources.
+        Time sources steer the legacy idle fast-forward and the
+        deadlock diagnosis; demand-driven components additionally
+        schedule their own timers via :meth:`wake_at`.
         """
         self._time_sources.append(source)
         return source
 
+    # -- wake API -----------------------------------------------------------
+
+    def wake(self, component):
+        """Arm *component* to be ticked on the next simulated cycle."""
+        order = component._engine_order
+        wake = self._wake_next
+        if order not in wake:
+            wake[order] = component
+            self.component_wakes += 1
+            component.wakes += 1
+
+    def wake_at(self, component, time):
+        """Arm *component* to be ticked at cycle *time* (at the latest)."""
+        if time <= self.now + 1:
+            self.wake(component)
+        else:
+            heapq.heappush(self._timers, (time, component._engine_order))
+
+    def note_event_at(self, time):
+        """Record that *something* happens at cycle *time*.
+
+        Used by delay lines with no subscribed consumer: the event
+        cannot wake anyone, but it bounds how far idle fast-forward may
+        jump.
+        """
+        if time > self.now:
+            heapq.heappush(self._timers, (time, -1))
+
     def mark_active(self):
-        """Called by channels on push/pop; marks the cycle as productive."""
+        """Called by channels on push/pop; marks the cycle as productive.
+
+        Steers the legacy idle fast-forward only; the demand-driven
+        path derives activity from the wake set instead.
+        """
         self._active = True
+
+    # -- stepping -----------------------------------------------------------
+
+    def _merge_due_timers(self):
+        """Move timers due at the current cycle into the wake set."""
+        timers = self._timers
+        now = self.now
+        wake = self._wake_next
+        components = self._components
+        while timers and timers[0][0] <= now:
+            _, order = heapq.heappop(timers)
+            if order >= 0 and order not in wake:
+                wake[order] = components[order]
 
     def _step(self):
         self._active = False
-        for component in self._components:
+        self._merge_due_timers()
+        wake = self._wake_next
+        self._wake_next = {}
+        if self._always:
+            # Legacy mode: at least one component relies on being
+            # ticked every cycle, so everything is (seed semantics).
+            run_list = self._components
+        elif wake:
+            run_list = [wake[order] for order in sorted(wake)]
+        else:
+            run_list = ()
+        self.component_ticks += len(run_list)
+        for component in run_list:
+            component.ticks += 1
             component.tick(self)
         # Only channels touched this cycle need an end-of-cycle commit.
         dirty = self._dirty_channels
@@ -86,6 +210,8 @@ class Engine:
         self.now += 1
         self.cycles_simulated += 1
 
+    # -- diagnosis ----------------------------------------------------------
+
     def _pending_work(self):
         if any(ch.pending for ch in self._channels):
             return True
@@ -93,41 +219,116 @@ class Engine:
             return True
         return False
 
+    def _scan_next_event_time(self):
+        """Earliest next event across registered time sources (legacy)."""
+        next_time = None
+        for line in self._time_sources:
+            t = line.next_event_time()
+            if t is not None and (next_time is None or t < next_time):
+                next_time = t
+        return next_time
+
+    def _raise_idle(self, done):
+        """Idle with no scheduled events: finish or diagnose a deadlock."""
+        if done is None:
+            return True  # globally idle: nothing will ever happen
+        if done():
+            return True
+        if self._pending_work():
+            raise DeadlockError(
+                f"no progress at cycle {self.now} with work pending"
+            )
+        raise DeadlockError(
+            f"run() not done at cycle {self.now} but system is idle"
+        )
+
+    # -- the run loop -------------------------------------------------------
+
     def run(self, done=None, max_cycles=None):
         """Run until *done()* is true (or until globally idle).
 
-        Returns the number of cycles elapsed during this call.  When a
-        cycle passes with no channel activity, the engine jumps directly
-        to the next delay-line event; if there is none and work is still
-        pending, the system is deadlocked and :class:`DeadlockError` is
-        raised.
+        Returns the number of cycles elapsed during this call.  When no
+        component is runnable the engine jumps directly to the next
+        scheduled event; if there is none and work is still pending,
+        the system is deadlocked and :class:`DeadlockError` is raised.
         """
         start = self.now
+        # Callers mutate component state between run() calls (queueing
+        # jobs, rewriting memory images); give every demand-driven
+        # component one cycle to notice.
+        for component in self._demand_components:
+            self.wake(component)
+        legacy = bool(self._always)
         while True:
             if done is not None and done():
                 break
             if max_cycles is not None and self.now - start >= max_cycles:
                 break
+            if not legacy:
+                self._merge_due_timers()
+                if not self._wake_next:
+                    timers = self._timers
+                    if not timers:
+                        self._raise_idle(done)
+                        break
+                    target = timers[0][0]
+                    if target > self.now:
+                        self.cycles_skipped += target - self.now
+                        self.now = target
+                    self._merge_due_timers()
+                    # Re-check done()/max_cycles at the new time before
+                    # stepping; a bare event may have woken nobody.
+                    continue
             self._step()
-            if not self._active:
-                next_time = None
-                for line in self._time_sources:
-                    t = line.next_event_time()
-                    if t is not None and (next_time is None or t < next_time):
-                        next_time = t
+            if legacy and not self._active:
+                next_time = self._scan_next_event_time()
                 if next_time is not None and next_time > self.now:
                     self.cycles_skipped += next_time - self.now
                     self.now = next_time
                 elif next_time is None:
-                    if done is None:
-                        break  # globally idle: nothing will ever happen
-                    if done():
+                    if self._raise_idle(done):
                         break
-                    if self._pending_work():
-                        raise DeadlockError(
-                            f"no progress at cycle {self.now} with work pending"
-                        )
-                    raise DeadlockError(
-                        f"run() not done at cycle {self.now} but system is idle"
-                    )
         return self.now - start
+
+    # -- statistics ---------------------------------------------------------
+
+    def activity(self):
+        """Scheduler-efficiency counters as a plain dict.
+
+        ``component_ticks`` versus ``cycles x components`` is the
+        demand-driven win; ``cycles_skipped`` is the idle fast-forward
+        win.  See :mod:`repro.core.stats` for aggregation helpers.
+        """
+        return {
+            "cycles_simulated": self.cycles_simulated,
+            "cycles_skipped": self.cycles_skipped,
+            "component_ticks": self.component_ticks,
+            "component_wakes": self.component_wakes,
+            "n_components": len(self._components),
+        }
+
+
+class LegacyEngine(Engine):
+    """The seed engine's schedule: every component, every cycle.
+
+    Kept as the reference for cycle-accuracy regression tests and
+    selectable with ``REPRO_ENGINE=legacy``; demand-driven wake wiring
+    becomes inert no-ops under this engine.
+    """
+
+    _demand_enabled = False
+
+
+def make_engine(kind=None):
+    """Engine factory honouring the ``REPRO_ENGINE`` environment knob.
+
+    ``demand`` (default) builds the demand-driven engine; ``legacy``
+    (or ``seed``) builds the reference all-tick engine.
+    """
+    if kind is None:
+        kind = os.environ.get("REPRO_ENGINE", "demand")
+    if kind in ("", "demand", "event"):
+        return Engine()
+    if kind in ("legacy", "seed"):
+        return LegacyEngine()
+    raise ValueError(f"unknown engine kind {kind!r}")
