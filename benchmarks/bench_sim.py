@@ -39,6 +39,7 @@ from repro.fabric.design import (
     MOMS_TRADITIONAL,
     MOMS_TWO_LEVEL,
 )
+from repro.graph import web_graph
 from repro.sim import Channel
 from repro.sim.engine import Engine
 
@@ -120,6 +121,124 @@ def bench_push_many(tokens=200_000, batch=16):
     }
 
 
+def _gate_cost_ns(loops=1_000_000):
+    """Cost of one *disabled* safety hook, in nanoseconds.
+
+    A disabled hook is a class-attribute load plus an ``is None`` test;
+    the two work loops below differ by exactly three such gates, so the
+    per-gate cost is the wall-clock difference divided by ``3 * loops``.
+    """
+
+    class Plain:
+        def work(self, token, state):
+            state[token & 7] = state.get(token & 7, 0) + 1
+            return token
+
+    class Gated(Plain):
+        _ledger = None
+        _fault = None
+
+        def work(self, token, state):
+            if self._ledger is not None:
+                self._ledger.verify(("bench", 0), token)
+            if self._fault is not None:
+                token = self._fault.corrupt_moms_token(token)
+            state[token & 7] = state.get(token & 7, 0) + 1
+            if self._ledger is not None:
+                self._ledger.retire(("bench", 0), token)
+            return token
+
+    def wall(obj):
+        state = {}
+        work = obj.work
+        start = time.perf_counter()
+        for i in range(loops):
+            work(i, state)
+        return time.perf_counter() - start
+
+    plain = min(wall(Plain()) for _ in range(3))
+    gated = min(wall(Gated()) for _ in range(3))
+    return max((gated - plain) / (loops * 3) * 1e9, 0.1)
+
+
+# Every token crosses a bounded number of gate sites on its PE -> bank
+# -> DRAM round trip: three ledger gates at the PE, two at the bank,
+# four at the DRAM channel, plus the MSHR-insert and drain-corruption
+# fault gates.  Eight per *issued* token (summed over all three
+# scopes, so a full round trip is counted three times over) is a
+# comfortable over-estimate.
+_GATE_SITES_PER_TOKEN = 8
+
+
+def bench_checks_overhead(repeats=3):
+    """Zero-cost-when-disabled gate for the fault/invariant hooks.
+
+    Every hook added by the robustness subsystem is an ``is None`` test
+    on a class attribute (``Engine.watchdog``, PE/bank/DRAM
+    ``_ledger``/``_fault`` slots, MSHR fault gates).  The pre-hook
+    engine is not runnable from this tree, so the <3% bound is computed
+    instead of raced: a micro-benchmark prices one disabled gate, a
+    checks-on run of a small BFS point counts the tokens (and therefore
+    bounds the gate executions), and the implied overhead is
+
+        gate_executions * gate_cost / checks-off wall clock.
+
+    The measured checks-on wall is recorded alongside so the *enabled*
+    cost stays visible in BENCH_sim.json, and cycle counts are asserted
+    identical between the two runs -- checks observe, never perturb.
+    """
+    os.environ["REPRO_ENGINE"] = "demand"
+    graph = web_graph(600, 3000, seed=9)
+    config = ArchitectureConfig(
+        _design(4, 4, MOMS_TWO_LEVEL, "bfs", n_channels=2),
+        **SCALED_DEFAULTS,
+    )
+
+    def run_once(checks):
+        system = AcceleratorSystem(graph, "bfs", config, checks=checks)
+        start = time.perf_counter()
+        result = system.run()
+        return system, result, time.perf_counter() - start
+
+    off_walls = []
+    for _ in range(repeats):
+        _, off_result, wall = run_once(checks=False)
+        off_walls.append(wall)
+    on_walls = []
+    for _ in range(repeats):
+        system_on, on_result, wall = run_once(checks=True)
+        on_walls.append(wall)
+    assert on_result.cycles == off_result.cycles, (
+        "enabling checks changed the model: "
+        f"{on_result.cycles} != {off_result.cycles}"
+    )
+
+    tokens = sum(
+        scope["issued"] for scope in system_on.ledger.snapshot().values()
+    )
+    gate_ns = _gate_cost_ns()
+    wall_off = min(off_walls)
+    gate_sites = _GATE_SITES_PER_TOKEN * tokens
+    implied = gate_sites * gate_ns * 1e-9 / wall_off
+    assert implied < 0.03, (
+        f"disabled checks imply {implied * 100:.2f}% demand-engine "
+        f"overhead ({gate_sites} gates x {gate_ns:.1f}ns over "
+        f"{wall_off:.3f}s); budget is 3%"
+    )
+    return {
+        "point": "BFS / web_graph(600, 3000) / two-level 4x4",
+        "cycles": off_result.cycles,
+        "wall_off_s": round(wall_off, 3),
+        "wall_on_s": round(min(on_walls), 3),
+        "checks_on_slowdown": round(min(on_walls) / wall_off, 3),
+        "ledger_tokens": tokens,
+        "gate_sites": gate_sites,
+        "gate_ns": round(gate_ns, 2),
+        "implied_off_overhead_pct": round(implied * 100, 4),
+        "budget_pct": 3.0,
+    }
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -142,6 +261,13 @@ def main(argv=None):
         assert before["cycles"] == after["cycles"], (before, after)
         assert before["gteps"] == after["gteps"], (before, after)
 
+    print("checks-overhead gate: implied checks-off cost vs 3% budget")
+    checks = bench_checks_overhead()
+    print(f"  implied {checks['implied_off_overhead_pct']}% "
+          f"({checks['gate_sites']} gates x {checks['gate_ns']}ns over "
+          f"{checks['wall_off_s']}s); checks-on slowdown "
+          f"{checks['checks_on_slowdown']}x")
+
     combined = baseline["wall_s"] / optimized["wall_s"]
     report = {
         "suite": "PageRank/RV quick suite "
@@ -156,6 +282,7 @@ def main(argv=None):
         "combined_speedup": round(combined, 2),
         "cycles_identical": True,
         "push_many_micro": bench_push_many(),
+        "checks_overhead": checks,
     }
     with open(args.output, "w") as fh:
         json.dump(report, fh, indent=2)

@@ -6,6 +6,13 @@ Usage::
     python -m repro fig11            # quick mode
     python -m repro fig15 --full     # full scaled suite
     python -m repro all              # everything (slow)
+    python -m repro faultsmoke       # fault-injection smoke matrix
+
+Resilience flags (any of them activates the hardened sweep runner;
+see ``repro.experiments.common.SweepPolicy``)::
+
+    python -m repro fig11 --timeout 600 --retries 2 --journal fig11.jsonl
+    python -m repro fig11 --journal fig11.jsonl --resume
 """
 
 import argparse
@@ -34,23 +41,65 @@ def main(argv=None):
     )
     parser.add_argument(
         "experiment",
-        help="experiment key (see 'list'), or 'list'/'all'",
+        help="experiment key (see 'list'), 'list'/'all', or 'faultsmoke'",
     )
     parser.add_argument(
         "--full", action="store_true",
         help="run the full scaled suite instead of quick mode",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-point wall-clock budget; over-budget workers are killed",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="extra attempts per failed point (exponential backoff)",
+    )
+    parser.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="JSON-lines checkpoint journal for completed points",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="reuse matching completed points from --journal",
+    )
+    parser.add_argument(
+        "--report", default="faultsmoke_report.json", metavar="PATH",
+        help="failure-report path for 'faultsmoke' (the CI artifact)",
     )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
         for key, module in sorted(EXPERIMENTS.items()):
             print(f"{key:10s} repro.experiments.{module}")
+        print(f"{'faultsmoke':10s} repro.faults.smoke")
         return 0
+
+    if args.experiment == "faultsmoke":
+        from repro.faults.smoke import run_fault_smoke
+
+        summary = run_fault_smoke(report_path=args.report)
+        return 1 if summary["failures"] else 0
+
+    if args.resume and not args.journal:
+        parser.error("--resume requires --journal")
 
     keys = (sorted(EXPERIMENTS) if args.experiment == "all"
             else [args.experiment])
-    from repro.experiments.common import reset_sweep_activity
+    from repro.experiments.common import (
+        SweepFailure,
+        configure_sweep,
+        reset_sweep_activity,
+    )
     from repro.report import engine_summary_line
+
+    if (args.timeout is not None or args.retries or args.journal):
+        configure_sweep(
+            timeout=args.timeout,
+            retries=args.retries,
+            journal=args.journal,
+            resume=args.resume,
+        )
 
     for key in keys:
         if key not in EXPERIMENTS:
@@ -61,7 +110,19 @@ def main(argv=None):
             f"repro.experiments.{EXPERIMENTS[key]}"
         )
         reset_sweep_activity()
-        _rows, text = module.run(quick=not args.full)
+        try:
+            _rows, text = module.run(quick=not args.full)
+        except SweepFailure as failure:
+            print(f"{key}: SWEEP FAILED -- {failure.completed} point(s) "
+                  f"completed, {len(failure.failures)} failed permanently:")
+            for index, error in sorted(failure.failures.items()):
+                first_line = str(error).splitlines()[0]
+                print(f"  point {index}: {first_line}")
+            if args.journal:
+                print(f"  completed points are checkpointed in "
+                      f"{args.journal}; re-run with --resume to retry "
+                      f"only the failures")
+            return 1
         print(text)
         print(engine_summary_line())
         print()

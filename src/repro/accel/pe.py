@@ -108,6 +108,9 @@ class ProcessingElement(Component):
     """One out-of-order multithreaded PE."""
 
     demand_driven = True
+    # Opt-in invariant ledger; class attribute so the unchecked path
+    # pays one "is None" test per MOMS event (see repro.faults).
+    _ledger = None
 
     def __init__(self, pe_index, spec, layout, mem, config,
                  moms_req, moms_resp, burst_ports, dma_resp,
@@ -532,6 +535,10 @@ class ProcessingElement(Component):
         if not self.moms_resp.can_pop():
             return True
         response = self.moms_resp.front()
+        if self._ledger is not None:
+            # Peek-time check: a corrupted or misrouted ID is flagged
+            # here, before it indexes the thread-state memory below.
+            self._ledger.verify(("pe", self.pe_index), response.req_id)
         if self.spec.weighted:
             dst_off, weight = self._id_state[response.req_id]
         else:
@@ -541,6 +548,8 @@ class ProcessingElement(Component):
             return False  # gather slot wasted on the stall
         self.moms_resp.pop()
         self._outstanding_moms -= 1
+        if self._ledger is not None:
+            self._ledger.retire(("pe", self.pe_index), response.req_id)
         if self.spec.weighted:
             del self._id_state[response.req_id]
             self._free_ids.append(response.req_id)
@@ -583,6 +592,8 @@ class ProcessingElement(Component):
             MomsRequest(addr=addr, size=4, req_id=req_id,
                         port=self.pe_index)
         )
+        if self._ledger is not None:
+            self._ledger.issue(("pe", self.pe_index), req_id)
         self._outstanding_moms += 1
         self.stats.moms_reads += 1
 

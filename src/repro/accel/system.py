@@ -71,7 +71,8 @@ class AcceleratorSystem:
     """One fully assembled accelerator instance."""
 
     def __init__(self, graph, algorithm, config, use_hashing=True,
-                 use_dbg=False, source=0, seed=0):
+                 use_dbg=False, source=0, seed=0, checks=False,
+                 fault_plan=None, watchdog_window=200_000):
         self.original_graph = graph
         if isinstance(algorithm, AlgorithmSpec):
             self.spec = algorithm
@@ -105,6 +106,24 @@ class AcceleratorSystem:
         self.permutation = permutation
 
         self._build()
+
+        # Opt-in robustness instrumentation (repro.faults).  Imported
+        # lazily so the default path never touches the package.
+        self.ledger = None
+        self.fault_state = None
+        if checks:
+            from repro.faults import TokenLedger, Watchdog
+            self.ledger = TokenLedger()
+            for element in self.pes:
+                element._ledger = self.ledger
+            for bank in self.hierarchy.banks:
+                bank._ledger = self.ledger
+            for channel in self.mem.channels:
+                channel._ledger = self.ledger
+            self.engine.watchdog = Watchdog(window=watchdog_window)
+        if fault_plan is not None:
+            from repro.faults import install_faults
+            install_faults(self, fault_plan)
 
     # -- construction --------------------------------------------------------
 
@@ -230,14 +249,15 @@ class AcceleratorSystem:
             if queued == 0:
                 break
             iterations += 1
+            # raise_on_limit: a busted budget raises CycleLimitError
+            # with the activity counters and a stall report attached.
             self.engine.run(
                 done=self._iteration_done,
                 max_cycles=max_cycles_per_iteration,
+                raise_on_limit=True,
             )
-            if not self._iteration_done():
-                raise RuntimeError(
-                    f"iteration {iterations} exceeded the cycle budget"
-                )
+            if self.ledger is not None:
+                self._check_iteration_drained(iterations)
             work_remains = self.scheduler.finish_iteration()
             if spec.synchronous:
                 self.layout.swap_in_out()
@@ -262,6 +282,15 @@ class AcceleratorSystem:
             hit_rate=self.hierarchy.hit_rate(),
             stats=self._collect_stats(),
         )
+
+    def _check_iteration_drained(self, iteration):
+        """End-of-iteration invariants: ledger + structural drain."""
+        from repro.faults import check_drained
+        context = f"end of iteration {iteration}"
+        self.ledger.assert_drained(context)
+        check_drained(self, context)
+        for channel in self.engine._channels:
+            channel.validate()
 
     @property
     def use_active_flags(self):

@@ -96,6 +96,10 @@ class MomsBank(Component):
     """
 
     demand_driven = True
+    # Opt-in hooks; class attributes so the unchecked path pays one
+    # "is None" test per event (see repro.faults).
+    _ledger = None
+    _fault = None
 
     def __init__(self, params, req_in, resp_out, line_in, downstream,
                  store, name="bank", seed=1):
@@ -194,6 +198,10 @@ class MomsBank(Component):
 
     def _begin_drain(self, line):
         line_addr = line.addr // self.params.line_bytes
+        if self._ledger is not None:
+            # The returned line must match an issued in-flight miss;
+            # verified before mshrs.remove can KeyError on corruption.
+            self._ledger.retire(("bank", self.name), line_addr)
         entry = self.mshrs.remove(line_addr)
         self.cache.fill(line_addr)
         self.stats.lines_returned += 1
@@ -213,6 +221,10 @@ class MomsBank(Component):
         items = self._drain_items
         index = self._drain_index
         req_id, port, offset, size = items[index]
+        if self._fault is not None:
+            # Mutation smoke: deterministically corrupt one response ID
+            # so tests can prove the PE-side ledger catches it.
+            req_id = self._fault.corrupt_moms_token(req_id)
         resp_out.push(
             MomsResponse(
                 req_id=req_id,
@@ -299,6 +311,8 @@ class MomsBank(Component):
         new_entry.subentry_head = chain
         new_entry.subentry_count = 1
         self.downstream.issue(line_addr)
+        if self._ledger is not None:
+            self._ledger.issue(("bank", self.name), line_addr)
         self.req_in.pop()
         stats.requests += 1
         stats.primary_misses += 1

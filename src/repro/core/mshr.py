@@ -45,6 +45,10 @@ class CuckooMshrFile:
     prior work.
     """
 
+    # Fault-injection hook (repro.faults.plan.FaultState); class
+    # attribute so unfaulted files pay one "is None" test per insert.
+    _fault = None
+
     def __init__(self, capacity, n_ways=4, max_kicks=16, seed=1):
         if capacity < n_ways:
             raise ValueError("capacity must be at least n_ways")
@@ -107,6 +111,12 @@ class CuckooMshrFile:
         The caller must have checked that no entry for *line_addr*
         exists (a lookup always precedes insertion in the bank pipeline).
         """
+        if self._fault is not None and self._fault.mshr_blocked():
+            # Forced-full window: report failure without touching table
+            # or PRNG state, so the retry after the window behaves
+            # exactly like a first attempt.
+            self.stats.insert_failures += 1
+            return None
         entry = MshrEntry(line_addr)
         carried = entry
         tables = self._tables
@@ -174,6 +184,8 @@ class CuckooMshrFile:
 class AssociativeMshrFile:
     """Small fully-associative MSHR file (traditional cache baseline)."""
 
+    _fault = None  # see CuckooMshrFile._fault
+
     def __init__(self, capacity=16):
         if capacity < 1:
             raise ValueError("need at least one MSHR")
@@ -190,6 +202,9 @@ class AssociativeMshrFile:
 
     def insert(self, line_addr):
         """Allocate an entry, or None when the file is full (-> block)."""
+        if self._fault is not None and self._fault.mshr_blocked():
+            self.stats.insert_failures += 1
+            return None
         if len(self._entries) >= self.capacity:
             self.stats.insert_failures += 1
             return None

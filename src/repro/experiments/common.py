@@ -9,12 +9,18 @@ point simulates the same deterministic system either way, so results
 are identical, only wall-clock changes.
 """
 
+import base64
+import hashlib
+import json
 import os
+import pickle
+import time
+from collections import deque
 from dataclasses import dataclass, field
 
 from repro.accel.system import AcceleratorSystem
 from repro.core.stats import EngineActivity
-from repro.graph.datasets import load_benchmark
+from repro.graph.datasets import BENCHMARKS, load_benchmark
 
 
 def full_suite_requested():
@@ -82,7 +88,280 @@ def default_jobs():
     return os.cpu_count() or 1
 
 
-def run_points(worker, points, jobs=None):
+@dataclass
+class SweepPolicy:
+    """Resilience policy for :func:`run_points`.
+
+    The default policy is inert and keeps the original fast path (an
+    exception in any point aborts the sweep).  Any of the knobs below
+    activates the hardened runner: one sandbox process per point, so a
+    crash or hang is isolated to that point and the rest of the sweep
+    continues.
+
+    * ``timeout`` -- wall-clock seconds per point attempt; an
+      over-budget worker is terminated and the attempt counts as a
+      failure.
+    * ``retries`` -- extra attempts per point after the first failure,
+      spaced by exponential backoff (``backoff * 2**(attempt-1)``
+      seconds).
+    * ``journal`` -- path of a JSON-lines results journal: every
+      completed point is appended (fingerprint + pickled payload) as
+      soon as it finishes, so a killed sweep loses at most the points
+      that were in flight.
+    * ``resume`` -- reuse journal entries whose fingerprint matches
+      instead of re-running those points.
+    """
+
+    timeout: float = None
+    retries: int = 0
+    backoff: float = 1.0
+    journal: str = None
+    resume: bool = False
+
+    @property
+    def active(self):
+        return (self.timeout is not None or self.retries > 0
+                or self.journal is not None)
+
+
+_POLICY = SweepPolicy()
+
+
+def configure_sweep(timeout=None, retries=0, backoff=1.0, journal=None,
+                    resume=False):
+    """Install the process-wide sweep policy (see :class:`SweepPolicy`)."""
+    global _POLICY
+    _POLICY = SweepPolicy(timeout=timeout, retries=retries, backoff=backoff,
+                          journal=journal, resume=resume)
+    return _POLICY
+
+
+def sweep_policy():
+    return _POLICY
+
+
+class SweepFailure(RuntimeError):
+    """One or more sweep points failed permanently.
+
+    ``failures`` maps point index to the final error description;
+    ``completed`` is how many points did finish (and, with a journal,
+    were checkpointed for ``--resume``).
+    """
+
+    def __init__(self, message, failures, completed):
+        super().__init__(message)
+        self.failures = failures
+        self.completed = completed
+
+
+def _fingerprint(point):
+    """Stable identity of a point across processes (journal key).
+
+    ``repr`` of the (frozen-ish) dataclass covers every field that
+    affects the simulation; dataclass reprs are deterministic.
+    """
+    return hashlib.sha256(repr(point).encode("utf-8")).hexdigest()[:24]
+
+
+def _load_journal(path):
+    """Completed entries from a journal, keyed by fingerprint.
+
+    Tolerates a truncated final line (the signature of a sweep killed
+    mid-write): unparseable lines are skipped, not fatal.
+    """
+    entries = {}
+    try:
+        handle = open(path, "r", encoding="utf-8")
+    except FileNotFoundError:
+        return entries
+    with handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue
+            if record.get("status") == "ok" and "payload" in record:
+                entries[record.get("fingerprint")] = record
+    return entries
+
+
+def _sweep_child(worker, point, conn):
+    """Sandbox-process entry: run one point, ship the outcome back."""
+    try:
+        result = worker(point)
+        conn.send(("ok", result))
+    except BaseException as error:  # noqa: BLE001 - isolate everything
+        import traceback
+        try:
+            conn.send(("error", f"{error!r}\n{traceback.format_exc()}"))
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+def _run_points_hardened(worker, points, jobs, policy):
+    """Crash-isolated, journaled, retrying point runner.
+
+    Each point runs in its own forked process; ``jobs`` bounds
+    concurrency.  Hung points are terminated at the timeout, crashed
+    or failed points retry with exponential backoff up to the retry
+    budget, and every completion is appended to the journal before the
+    next point is scheduled, so a killed sweep loses at most the
+    in-flight points.
+    """
+    import multiprocessing
+
+    try:
+        ctx = multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        ctx = multiprocessing.get_context()
+
+    n = len(points)
+    results = [None] * n
+    done = [False] * n
+    failures = {}
+    journal_handle = None
+    if policy.journal:
+        if policy.resume:
+            cached = _load_journal(policy.journal)
+            for index, point in enumerate(points):
+                record = cached.get(_fingerprint(point))
+                if record is not None:
+                    results[index] = pickle.loads(
+                        base64.b64decode(record["payload"])
+                    )
+                    done[index] = True
+        journal_handle = open(policy.journal, "a", encoding="utf-8")
+
+    def journal_write(record):
+        if journal_handle is not None:
+            journal_handle.write(json.dumps(record) + "\n")
+            journal_handle.flush()
+
+    pending = deque(
+        (index, 1) for index in range(n) if not done[index]
+    )  # (point index, attempt number)
+    backoff_queue = []  # (ready walltime, index, attempt)
+    running = {}  # index -> (process, conn, deadline, attempt)
+    max_attempts = 1 + max(0, policy.retries)
+
+    def finish(index, attempt, status, payload):
+        point = points[index]
+        if status == "ok":
+            results[index] = payload
+            done[index] = True
+            journal_write({
+                "index": index,
+                "fingerprint": _fingerprint(point),
+                "point": repr(point),
+                "status": "ok",
+                "attempt": attempt,
+                "payload": base64.b64encode(
+                    pickle.dumps(payload)
+                ).decode("ascii"),
+            })
+            return
+        if attempt < max_attempts:
+            delay = policy.backoff * 2 ** (attempt - 1)
+            backoff_queue.append(
+                (time.monotonic() + delay, index, attempt + 1)
+            )
+            return
+        failures[index] = payload
+        journal_write({
+            "index": index,
+            "fingerprint": _fingerprint(point),
+            "point": repr(point),
+            "status": "fail",
+            "attempt": attempt,
+            "error": str(payload),
+        })
+
+    try:
+        while pending or backoff_queue or running:
+            now = time.monotonic()
+            if backoff_queue:
+                matured = [
+                    entry for entry in backoff_queue if entry[0] <= now
+                ]
+                for entry in matured:
+                    backoff_queue.remove(entry)
+                    pending.append((entry[1], entry[2]))
+            while pending and len(running) < jobs:
+                index, attempt = pending.popleft()
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                process = ctx.Process(
+                    target=_sweep_child,
+                    args=(worker, points[index], child_conn),
+                )
+                process.start()
+                child_conn.close()
+                deadline = (None if policy.timeout is None
+                            else time.monotonic() + policy.timeout)
+                running[index] = (process, parent_conn, deadline, attempt)
+            progressed = False
+            for index in list(running):
+                process, conn, deadline, attempt = running[index]
+                if conn.poll(0):
+                    try:
+                        status, payload = conn.recv()
+                        process.join()
+                    except EOFError:
+                        # Pipe closed with no message: the worker died
+                        # before it could report (hard crash).
+                        process.join()
+                        status, payload = (
+                            "error",
+                            f"worker crashed (exit code {process.exitcode})",
+                        )
+                    conn.close()
+                    del running[index]
+                    finish(index, attempt, status, payload)
+                    progressed = True
+                elif not process.is_alive():
+                    exitcode = process.exitcode
+                    conn.close()
+                    del running[index]
+                    finish(index, attempt, "error",
+                           f"worker crashed (exit code {exitcode})")
+                    progressed = True
+                elif deadline is not None and time.monotonic() > deadline:
+                    process.terminate()
+                    process.join()
+                    conn.close()
+                    del running[index]
+                    finish(index, attempt, "error",
+                           f"timed out after {policy.timeout:g}s")
+                    progressed = True
+            if not progressed and (running or backoff_queue):
+                time.sleep(0.02)
+    finally:
+        for process, conn, _deadline, _attempt in running.values():
+            process.terminate()
+            process.join()
+            conn.close()
+        if journal_handle is not None:
+            journal_handle.close()
+
+    if failures:
+        summary = "; ".join(
+            f"point {index} ({points[index]!r:.80}): {error}"
+            for index, error in sorted(failures.items())
+        )
+        raise SweepFailure(
+            f"{len(failures)} of {n} sweep points failed permanently "
+            f"after {max_attempts} attempt(s) each: {summary}",
+            failures=failures,
+            completed=sum(done),
+        )
+    return results
+
+
+def run_points(worker, points, jobs=None, policy=None):
     """Evaluate ``worker(point)`` for every point, preserving order.
 
     With ``jobs > 1`` (default: :func:`default_jobs`) the points run in
@@ -91,10 +370,19 @@ def run_points(worker, points, jobs=None):
     list is always in input order, so sweep rows come out identical to
     the serial path.  ``REPRO_JOBS=1`` (or a single point) keeps
     everything in-process.
+
+    When a :class:`SweepPolicy` is active (``policy`` argument or the
+    process-wide :func:`configure_sweep` policy), points instead run in
+    the hardened per-point sandbox runner with timeouts, retries, and a
+    checkpoint journal; see :class:`SweepPolicy`.
     """
     points = list(points)
+    if policy is None:
+        policy = _POLICY
     if jobs is None:
         jobs = default_jobs()
+    if policy.active:
+        return _run_points_hardened(worker, points, max(1, jobs), policy)
     if jobs <= 1 or len(points) <= 1:
         return [worker(point) for point in points]
     from concurrent.futures import ProcessPoolExecutor
@@ -122,6 +410,24 @@ class SweepPoint:
     use_hashing: bool = True
     use_dbg: bool = False
     source: int = 0
+
+    KNOWN_ALGORITHMS = ("pagerank", "scc", "sssp", "bfs")
+
+    def __post_init__(self):
+        # Eager validation: a bad key must fail here, at sweep build
+        # time, with a clear message -- not minutes later inside a
+        # worker process as an opaque crash.
+        if self.graph_key not in BENCHMARKS:
+            known = ", ".join(sorted(BENCHMARKS))
+            raise ValueError(
+                f"unknown benchmark graph key {self.graph_key!r}; "
+                f"known keys: {known}"
+            )
+        if self.algorithm not in self.KNOWN_ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {self.algorithm!r}; known: "
+                f"{', '.join(self.KNOWN_ALGORITHMS)}"
+            )
 
     def load_graph(self):
         return bench_graph(self.graph_key, self.quick)

@@ -106,6 +106,10 @@ class DramChannel(Component):
     """One DDR4 channel: request queue, data bus, fixed-latency responses."""
 
     demand_driven = True
+    # Opt-in hooks; class attributes so the unfaulted/unchecked path
+    # pays a single "is None" test (see repro.faults).
+    _fault = None
+    _ledger = None
 
     def __init__(self, timings, store, name="dram"):
         self.timings = timings
@@ -127,6 +131,14 @@ class DramChannel(Component):
         return self
 
     def tick(self, engine):
+        if self._fault is not None:
+            blackout_end = self._fault.dram_blackout_until(engine.now)
+            if blackout_end:
+                # Channel dead for the window: no accepts, no deliveries.
+                # Self-arm the wake at the window end; queued requests
+                # and due responses are simply served late.
+                engine.wake_at(self, blackout_end)
+                return
         delivered = self._deliver(engine)
         self._accept(engine)
         self._arm(engine, delivered)
@@ -169,10 +181,13 @@ class DramChannel(Component):
         scheduled = self._scheduled
         now = engine.now
         store = self.store
+        ledger = self._ledger
         while delivered < limit and scheduled and scheduled[0][0] <= now:
             _, response, respond_to = scheduled[0]
             if respond_to is None:
                 scheduled.popleft()
+                if ledger is not None:
+                    ledger.retire(("dram", self.name), response.addr)
                 delivered += 1
                 continue
             space = respond_to.free_slots()
@@ -191,6 +206,8 @@ class DramChannel(Component):
                 and scheduled[0][2] is respond_to
             ):
                 _, response, _ = scheduled.popleft()
+                if ledger is not None:
+                    ledger.retire(("dram", self.name), response.addr)
                 if response.data is None and not response.is_write_ack:
                     response.data = store.read_bytes(response.addr, LINE_BYTES)
                 batch.append(response)
@@ -204,6 +221,8 @@ class DramChannel(Component):
         request = self.req.pop()
         start = max(engine.now, self._next_free)
         beats = request.beats
+        extra_latency = 0 if self._fault is None \
+            else self._fault.dram_extra_latency(engine.now)
         if request.is_write:
             self.store.write_bytes(request.addr, request.data, request.nbytes)
             service = beats * self.timings.cycles_per_beat_burst
@@ -217,8 +236,9 @@ class DramChannel(Component):
                     addr=request.addr,
                     is_write_ack=True,
                 )
-                self._schedule(start + service + self.timings.latency, ack,
-                               request.respond_to)
+                self._schedule(
+                    start + service + self.timings.latency + extra_latency,
+                    ack, request.respond_to)
             return
         cpb = self.timings.cycles_per_beat(request.kind)
         for beat in range(beats):
@@ -228,7 +248,8 @@ class DramChannel(Component):
                 beat=beat,
                 last=beat == beats - 1,
             )
-            ready = start + (beat + 1) * cpb + self.timings.latency
+            ready = start + (beat + 1) * cpb + self.timings.latency \
+                + extra_latency
             self._schedule(ready, response, request.respond_to)
         self._next_free = start + beats * cpb
         self.stats.bytes_read += beats * LINE_BYTES
@@ -245,9 +266,21 @@ class DramChannel(Component):
 
     def _schedule(self, ready_time, response, respond_to):
         if self._scheduled and ready_time < self._scheduled[-1][0]:
-            # Constant latency and FIFO acceptance keep this monotonic.
-            raise AssertionError("DRAM response schedule went out of order")
+            if self._fault is not None:
+                # An injected latency spike ending between two requests
+                # would step the schedule backwards; clamp to the tail
+                # so the FIFO delivery order stays intact.
+                ready_time = self._scheduled[-1][0]
+            else:
+                # Constant latency and FIFO acceptance keep this monotonic.
+                raise AssertionError(
+                    "DRAM response schedule went out of order"
+                )
         self._scheduled.append((ready_time, response, respond_to))
+        if self._ledger is not None:
+            self._ledger.issue(("dram", self.name), response.addr)
+        if self._fault is not None:
+            self._fault.dram_maybe_reorder(self._scheduled)
 
     def is_idle(self):
         return not self._scheduled and not self.req.pending

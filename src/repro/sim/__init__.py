@@ -12,6 +12,7 @@ component is stalled on a pending latency are skipped in O(1).
 from repro.sim.channel import Channel, DelayLine
 from repro.sim.engine import (
     Component,
+    CycleLimitError,
     DeadlockError,
     Engine,
     LegacyEngine,
@@ -21,6 +22,7 @@ from repro.sim.engine import (
 __all__ = [
     "Channel",
     "Component",
+    "CycleLimitError",
     "DeadlockError",
     "DelayLine",
     "Engine",

@@ -28,6 +28,10 @@ class Channel:
     checks.
     """
 
+    # Backpressure fault hook: original capacity while throttled.  A
+    # class attribute so unthrottled channels pay nothing.
+    _base_capacity = None
+
     def __init__(self, capacity, name=""):
         if capacity < 1:
             raise ValueError("channel capacity must be >= 1")
@@ -72,6 +76,48 @@ class Channel:
         """
         if component not in self._space_requests:
             self._space_requests.append(component)
+
+    # -- fault hooks --------------------------------------------------------
+
+    def throttle(self, capacity):
+        """Clamp the effective capacity (backpressure fault window).
+
+        All producers -- including the arbiters and crossbars that
+        inline their capacity arithmetic -- read ``capacity``, so the
+        clamp back-pressures every path uniformly.  Tokens already in
+        flight stay poppable.  :meth:`restore` undoes the clamp.
+        """
+        if self._base_capacity is None:
+            self._base_capacity = self.capacity
+        self.capacity = capacity
+
+    def restore(self):
+        """Undo :meth:`throttle`; no-op if not throttled."""
+        if self._base_capacity is not None:
+            self.capacity = self._base_capacity
+            self._base_capacity = None
+
+    def validate(self):
+        """Assert occupancy accounting invariants (checked mode only).
+
+        Total in-flight tokens can never exceed the channel's true
+        capacity (throttling only lowers the limit for *new* pushes),
+        and visible tokens can only shrink within a cycle (pops), never
+        grow past the registered occupancy.
+        """
+        limit = self.capacity if self._base_capacity is None \
+            else self._base_capacity
+        if self.pending > limit:
+            raise AssertionError(
+                f"channel {self.name!r}: {self.pending} tokens in flight "
+                f"exceeds capacity {limit}"
+            )
+        if len(self._ready) > self._occupancy_at_cycle_start:
+            raise AssertionError(
+                f"channel {self.name!r}: visible tokens "
+                f"({len(self._ready)}) exceed registered occupancy "
+                f"({self._occupancy_at_cycle_start}) mid-cycle"
+            )
 
     # -- producer side ------------------------------------------------------
 

@@ -30,7 +30,29 @@ import os
 
 
 class DeadlockError(RuntimeError):
-    """Raised when no component can make progress but work remains."""
+    """Raised when no component can make progress but work remains.
+
+    ``report`` (when set) carries the structured stall report built by
+    :func:`repro.faults.report.build_stall_report`: which channels hold
+    or block work, who subscribes to them, and which timers remain.
+    """
+
+    report = None
+
+
+class CycleLimitError(RuntimeError):
+    """A ``run()`` call exhausted its cycle budget with work remaining.
+
+    Raised only when the caller opts in with ``raise_on_limit=True``;
+    the message and the ``activity`` / ``report`` attributes carry the
+    diagnosis context (cycle counters, scheduler activity, and the wait
+    structure at the moment the budget ran out).
+    """
+
+    def __init__(self, message, activity=None, report=None):
+        super().__init__(message)
+        self.activity = activity or {}
+        self.report = report
 
 
 class Component:
@@ -86,6 +108,9 @@ class Engine:
     """
 
     _demand_enabled = True
+    # Optional no-progress monitor (repro.faults.watchdog.Watchdog);
+    # the run loop pays a single "is None" test per step when unset.
+    watchdog = None
 
     def __init__(self):
         self.now = 0
@@ -235,22 +260,55 @@ class Engine:
         if done():
             return True
         if self._pending_work():
-            raise DeadlockError(
+            raise self._deadlock(
                 f"no progress at cycle {self.now} with work pending"
             )
-        raise DeadlockError(
+        raise self._deadlock(
             f"run() not done at cycle {self.now} but system is idle"
+        )
+
+    def _deadlock(self, message):
+        """Build a DeadlockError enriched with a structured stall report."""
+        # Imported lazily: the happy path never touches repro.faults.
+        from repro.faults.report import build_stall_report, \
+            format_stall_report
+        report = build_stall_report(self, reason="deadlock")
+        error = DeadlockError(f"{message}\n{format_stall_report(report)}")
+        error.report = report
+        return error
+
+    def _cycle_limit(self, max_cycles, start):
+        """Build a CycleLimitError with activity + stall context."""
+        from repro.faults.report import build_stall_report, \
+            format_stall_report
+        activity = self.activity()
+        report = build_stall_report(self, reason="cycle budget exceeded")
+        pending = sum(ch.pending for ch in self._channels) \
+            + sum(source.pending for source in self._time_sources)
+        summary = ", ".join(f"{k}={v}" for k, v in activity.items())
+        return CycleLimitError(
+            f"cycle budget of {max_cycles} exceeded at cycle {self.now} "
+            f"(ran {self.now - start} cycles this call, {pending} tokens "
+            f"in flight; {summary})\n{format_stall_report(report)}",
+            activity=activity,
+            report=report,
         )
 
     # -- the run loop -------------------------------------------------------
 
-    def run(self, done=None, max_cycles=None):
+    def run(self, done=None, max_cycles=None, raise_on_limit=False):
         """Run until *done()* is true (or until globally idle).
 
         Returns the number of cycles elapsed during this call.  When no
         component is runnable the engine jumps directly to the next
         scheduled event; if there is none and work is still pending,
         the system is deadlocked and :class:`DeadlockError` is raised.
+
+        ``max_cycles`` bounds the call; by default hitting the bound
+        just returns (callers that use it as a polling quantum rely on
+        that), but with ``raise_on_limit=True`` it raises
+        :class:`CycleLimitError` carrying the activity counters and a
+        stall report so a busted budget is diagnosable.
         """
         start = self.now
         # Callers mutate component state between run() calls (queueing
@@ -259,10 +317,15 @@ class Engine:
         for component in self._demand_components:
             self.wake(component)
         legacy = bool(self._always)
+        watchdog = self.watchdog
+        if watchdog is not None:
+            watchdog.begin(self)
         while True:
             if done is not None and done():
                 break
             if max_cycles is not None and self.now - start >= max_cycles:
+                if raise_on_limit:
+                    raise self._cycle_limit(max_cycles, start)
                 break
             if not legacy:
                 self._merge_due_timers()
@@ -280,6 +343,8 @@ class Engine:
                     # stepping; a bare event may have woken nobody.
                     continue
             self._step()
+            if watchdog is not None and self.now >= watchdog.next_check:
+                watchdog.check(self)
             if legacy and not self._active:
                 next_time = self._scan_next_event_time()
                 if next_time is not None and next_time > self.now:

@@ -1,0 +1,162 @@
+"""Hardened sweep runner: validation, crash isolation, journal resume."""
+
+import json
+import os
+
+import pytest
+
+from repro.accel.config import ArchitectureConfig, SCALED_DEFAULTS, _design
+from repro.experiments.common import (
+    SweepFailure,
+    SweepPoint,
+    SweepPolicy,
+    _load_journal,
+    run_points,
+)
+from repro.fabric.design import MOMS_TWO_LEVEL
+
+
+def _config(algorithm="bfs"):
+    return ArchitectureConfig(
+        _design(4, 4, MOMS_TWO_LEVEL, algorithm, n_channels=2),
+        **SCALED_DEFAULTS,
+    )
+
+
+class TestSweepPointValidation:
+    def test_valid_point_builds(self):
+        point = SweepPoint("WT", "bfs", _config())
+        assert point.graph_key == "WT"
+
+    def test_unknown_graph_key_fails_eagerly(self):
+        with pytest.raises(ValueError, match="unknown benchmark graph key"):
+            SweepPoint("NOPE", "bfs", _config())
+
+    def test_unknown_algorithm_fails_eagerly(self):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            SweepPoint("WT", "dijkstra", _config())
+
+    def test_error_lists_known_keys(self):
+        with pytest.raises(ValueError, match="WT"):
+            SweepPoint("XX", "bfs", _config())
+
+
+# Module-level workers (plain functions; the hardened runner forks, so
+# closures would work too, but module level matches the fast path's
+# pickling requirement).
+
+def _double(x):
+    return x * 2
+
+
+def _flaky(x):
+    if x == "crash":
+        os._exit(9)
+    if x == "raise":
+        raise ValueError("injected failure")
+    return x * 2
+
+
+_RETRY_MARKER = None  # path of a marker file; set per test
+
+
+def _fails_once(x):
+    # Fails on the first attempt only, using a marker file visible
+    # across the forked worker processes.
+    if x == 5 and not os.path.exists(_RETRY_MARKER):
+        open(_RETRY_MARKER, "w").close()
+        os._exit(7)
+    return x * 2
+
+
+class TestHardenedRunner:
+    def test_inert_policy_keeps_fast_path(self):
+        assert not SweepPolicy().active
+        assert run_points(_double, [1, 2, 3], jobs=1) == [2, 4, 6]
+
+    def test_crash_and_exception_are_isolated(self, tmp_path):
+        journal = str(tmp_path / "sweep.jsonl")
+        policy = SweepPolicy(journal=journal, backoff=0.01)
+        with pytest.raises(SweepFailure) as excinfo:
+            run_points(_flaky, [1, "crash", 2, "raise", 3], jobs=2,
+                       policy=policy)
+        failure = excinfo.value
+        assert sorted(failure.failures) == [1, 3]
+        assert failure.completed == 3
+        assert "exit code 9" in failure.failures[1]
+        assert "injected failure" in failure.failures[3]
+
+    def test_retry_recovers_transient_crash(self, tmp_path):
+        global _RETRY_MARKER
+        _RETRY_MARKER = str(tmp_path / "fail.marker")
+        policy = SweepPolicy(retries=1, backoff=0.01)
+        results = run_points(_fails_once, [1, 5, 9], jobs=2, policy=policy)
+        assert results == [2, 10, 18]
+        assert os.path.exists(_RETRY_MARKER)  # first attempt did crash
+
+    def test_timeout_kills_hung_worker(self, tmp_path):
+        def hang(x):
+            if x == "hang":
+                import time
+                time.sleep(120)
+            return x
+
+        policy = SweepPolicy(timeout=1.0, backoff=0.01)
+        with pytest.raises(SweepFailure) as excinfo:
+            run_points(hang, ["ok", "hang"], jobs=2, policy=policy)
+        assert "timed out" in excinfo.value.failures[1]
+        assert excinfo.value.completed == 1
+
+    def test_kill_then_resume_completes_identical_rows(self, tmp_path):
+        """The acceptance scenario: a sweep dies partway; --resume
+        finishes it and the rows match an uninterrupted run exactly."""
+        journal = str(tmp_path / "resume.jsonl")
+        points = list(range(8))
+        expected = [x * 2 for x in points]
+
+        # "Killed" run: point 5 hard-crashes the worker (no retries),
+        # everything else completes and is journaled.
+        global _RETRY_MARKER
+        _RETRY_MARKER = str(tmp_path / "never-created.marker")
+
+        def crash_on_5(x):
+            if x == 5:
+                os._exit(11)
+            return x * 2
+
+        policy = SweepPolicy(journal=journal, backoff=0.01)
+        with pytest.raises(SweepFailure) as excinfo:
+            run_points(crash_on_5, points, jobs=3, policy=policy)
+        assert excinfo.value.completed == len(points) - 1
+
+        # Resume with a healthy worker: only the lost point re-runs.
+        ran = str(tmp_path / "reran.log")
+
+        def logging_worker(x):
+            with open(ran, "a") as handle:
+                handle.write(f"{x}\n")
+            return x * 2
+
+        resume = SweepPolicy(journal=journal, resume=True, backoff=0.01)
+        results = run_points(logging_worker, points, jobs=3, policy=resume)
+        assert results == expected
+        reran = [int(line) for line in open(ran).read().split()]
+        assert reran == [5]  # at most the in-flight point was lost
+
+    def test_journal_tolerates_truncated_tail(self, tmp_path):
+        journal = str(tmp_path / "trunc.jsonl")
+        policy = SweepPolicy(journal=journal)
+        run_points(_double, [1, 2], jobs=2, policy=policy)
+        with open(journal, "a", encoding="utf-8") as handle:
+            handle.write('{"index": 99, "status": "ok", "payl')  # cut off
+        entries = _load_journal(journal)
+        assert len(entries) == 2
+
+    def test_journal_records_are_json_lines(self, tmp_path):
+        journal = str(tmp_path / "fmt.jsonl")
+        run_points(_double, [3], jobs=1,
+                   policy=SweepPolicy(journal=journal))
+        lines = [json.loads(line) for line in open(journal)]
+        assert lines[0]["status"] == "ok"
+        assert lines[0]["index"] == 0
+        assert "fingerprint" in lines[0] and "payload" in lines[0]

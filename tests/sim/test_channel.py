@@ -86,6 +86,93 @@ class TestChannel:
         assert out == items
 
 
+class TestPushManyBoundaries:
+    def test_exactly_full_is_accepted(self):
+        _, ch = make_engine_with_channel(4)
+        assert ch.can_push_n(4)
+        ch.push_many([1, 2, 3, 4])
+        assert ch.pending == 4
+        assert not ch.can_push()
+        assert ch.free_slots() == 0
+
+    def test_zero_count_is_a_noop_even_when_full(self):
+        _, ch = make_engine_with_channel(2)
+        ch.push_many([1, 2])
+        assert ch.can_push_n(0)
+        ch.push_many([])  # must not raise on a full channel
+        assert ch.pending == 2
+        assert ch.total_pushed == 2
+
+    def test_over_capacity_raises_and_leaves_channel_unchanged(self):
+        _, ch = make_engine_with_channel(3)
+        ch.push(1)
+        assert not ch.can_push_n(3)
+        with pytest.raises(OverflowError):
+            ch.push_many([2, 3, 4])
+        assert ch.pending == 1
+        assert ch.total_pushed == 1
+
+    def test_boundary_counts_one_around_capacity(self):
+        _, ch = make_engine_with_channel(5)
+        assert ch.can_push_n(5)
+        assert not ch.can_push_n(6)
+        ch.push_many([0] * 4)
+        assert ch.can_push_n(1)
+        assert not ch.can_push_n(2)
+
+    def test_staged_plus_visible_count_against_capacity(self):
+        """Registered occupancy: visible tokens and staged pushes share
+        the capacity budget within a cycle."""
+        _, ch = make_engine_with_channel(4)
+        ch.push_many([1, 2])
+        ch.commit()
+        ch.push_many([3, 4])  # 2 visible + 2 staged = exactly full
+        assert not ch.can_push_n(1)
+        with pytest.raises(OverflowError):
+            ch.push_many([5])
+
+
+class TestThrottle:
+    def test_throttle_blocks_pushes_and_restore_reopens(self):
+        _, ch = make_engine_with_channel(4)
+        ch.push(1)
+        ch.throttle(0)
+        assert not ch.can_push()
+        assert not ch.can_push_n(1)
+        with pytest.raises(OverflowError):
+            ch.push(2)
+        ch.restore()
+        assert ch.capacity == 4
+        assert ch.can_push()
+
+    def test_tokens_in_flight_survive_a_throttle_window(self):
+        _, ch = make_engine_with_channel(2)
+        ch.push_many([1, 2])
+        ch.commit()
+        ch.throttle(0)
+        assert ch.pop() == 1
+        assert ch.pop() == 2
+        ch.restore()
+        ch.validate()
+
+    def test_restore_is_idempotent(self):
+        _, ch = make_engine_with_channel(3)
+        ch.restore()  # never throttled: no-op
+        assert ch.capacity == 3
+        ch.throttle(0)
+        ch.throttle(0)
+        ch.restore()
+        ch.restore()
+        assert ch.capacity == 3
+
+    def test_validate_flags_overfull_channel(self):
+        _, ch = make_engine_with_channel(2)
+        ch.validate()
+        ch._ready.extend([1, 2, 3])  # corrupt it deliberately
+        with pytest.raises(AssertionError):
+            ch.validate()
+
+
 class TestDelayLine:
     def test_rejects_zero_latency(self):
         with pytest.raises(ValueError):
