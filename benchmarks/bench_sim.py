@@ -239,6 +239,84 @@ def bench_checks_overhead(repeats=3):
     }
 
 
+def bench_telemetry_overhead(repeats=3):
+    """Zero-cost-when-disabled gate for the telemetry hooks.
+
+    Same methodology as :func:`bench_checks_overhead`: telemetry's
+    disabled hooks are ``is None`` tests on class attributes
+    (``Engine.sampler``, PE/bank/DRAM ``_tele`` slots), so the bound is
+    computed from a priced gate and a counted number of gate
+    executions.  The disabled-path sites are one sampler gate per
+    simulated cycle, a handful of ``_tele`` gates per component tick
+    (tick-start plus the in-tick issue/retire/phase sites), and one
+    per DRAM beat delivered.  A telemetry-on run is raced alongside and
+    its cycle count asserted identical -- telemetry observes, never
+    perturbs.
+    """
+    from repro.telemetry import TelemetryConfig
+
+    os.environ["REPRO_ENGINE"] = "demand"
+    graph = web_graph(600, 3000, seed=9)
+    config = ArchitectureConfig(
+        _design(4, 4, MOMS_TWO_LEVEL, "bfs", n_channels=2),
+        **SCALED_DEFAULTS,
+    )
+
+    def run_once(telemetry):
+        system = AcceleratorSystem(graph, "bfs", config,
+                                   telemetry=telemetry)
+        start = time.perf_counter()
+        result = system.run()
+        return system, result, time.perf_counter() - start
+
+    off_walls = []
+    for _ in range(repeats):
+        system_off, off_result, wall = run_once(telemetry=None)
+        off_walls.append(wall)
+    on_walls = []
+    for _ in range(repeats):
+        system_on, on_result, wall = run_once(
+            telemetry=TelemetryConfig(sample_interval=64)
+        )
+        on_walls.append(wall)
+    assert on_result.cycles == off_result.cycles, (
+        "enabling telemetry changed the model: "
+        f"{on_result.cycles} != {off_result.cycles}"
+    )
+
+    engine = system_off.engine
+    beats = sum(
+        ch.stats.total_beats for ch in system_off.mem.channels
+    )
+    gate_sites = (
+        engine.cycles_simulated        # Engine.run sampler gate
+        + 4 * engine.component_ticks   # tick-start + in-tick _tele gates
+        + beats                        # DRAM per-beat delivery gate
+    )
+    gate_ns = _gate_cost_ns()
+    wall_off = min(off_walls)
+    implied = gate_sites * gate_ns * 1e-9 / wall_off
+    assert implied < 0.03, (
+        f"disabled telemetry implies {implied * 100:.2f}% overhead "
+        f"({gate_sites} gates x {gate_ns:.1f}ns over {wall_off:.3f}s); "
+        f"budget is 3%"
+    )
+    summary = system_on.telemetry.summary()
+    return {
+        "point": "BFS / web_graph(600, 3000) / two-level 4x4",
+        "cycles": off_result.cycles,
+        "wall_off_s": round(wall_off, 3),
+        "wall_on_s": round(min(on_walls), 3),
+        "telemetry_on_slowdown": round(min(on_walls) / wall_off, 3),
+        "gate_sites": gate_sites,
+        "gate_ns": round(gate_ns, 2),
+        "implied_off_overhead_pct": round(implied * 100, 4),
+        "budget_pct": 3.0,
+        "samples": summary["samples"],
+        "mshr_peak": summary["mshr_peak"],
+    }
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -268,6 +346,14 @@ def main(argv=None):
           f"{checks['wall_off_s']}s); checks-on slowdown "
           f"{checks['checks_on_slowdown']}x")
 
+    print("telemetry-overhead gate: implied telemetry-off cost "
+          "vs 3% budget")
+    telemetry = bench_telemetry_overhead()
+    print(f"  implied {telemetry['implied_off_overhead_pct']}% "
+          f"({telemetry['gate_sites']} gates x {telemetry['gate_ns']}ns "
+          f"over {telemetry['wall_off_s']}s); telemetry-on slowdown "
+          f"{telemetry['telemetry_on_slowdown']}x")
+
     combined = baseline["wall_s"] / optimized["wall_s"]
     report = {
         "suite": "PageRank/RV quick suite "
@@ -283,6 +369,7 @@ def main(argv=None):
         "cycles_identical": True,
         "push_many_micro": bench_push_many(),
         "checks_overhead": checks,
+        "telemetry_overhead": telemetry,
     }
     with open(args.output, "w") as fh:
         json.dump(report, fh, indent=2)

@@ -7,6 +7,8 @@ Usage::
     python -m repro fig15 --full     # full scaled suite
     python -m repro all              # everything (slow)
     python -m repro faultsmoke       # fault-injection smoke matrix
+    python -m repro trace --graph RV --algorithm pagerank \
+        --out out/rv                 # telemetry-instrumented run + export
 
 Resilience flags (any of them activates the hardened sweep runner;
 see ``repro.experiments.common.SweepPolicy``)::
@@ -67,13 +69,25 @@ def main(argv=None):
         "--report", default="faultsmoke_report.json", metavar="PATH",
         help="failure-report path for 'faultsmoke' (the CI artifact)",
     )
+    from repro.telemetry.cli import add_trace_arguments
+
+    trace_group = parser.add_argument_group(
+        "trace options (for the 'trace' command)"
+    )
+    add_trace_arguments(trace_group)
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
         for key, module in sorted(EXPERIMENTS.items()):
             print(f"{key:10s} repro.experiments.{module}")
         print(f"{'faultsmoke':10s} repro.faults.smoke")
+        print(f"{'trace':10s} repro.telemetry.cli")
         return 0
+
+    if args.experiment == "trace":
+        from repro.telemetry.cli import run_trace
+
+        return run_trace(args)
 
     if args.experiment == "faultsmoke":
         from repro.faults.smoke import run_fault_smoke
@@ -91,7 +105,7 @@ def main(argv=None):
         configure_sweep,
         reset_sweep_activity,
     )
-    from repro.report import engine_summary_line
+    from repro.report import component_breakdown_table, engine_summary_line
 
     if (args.timeout is not None or args.retries or args.journal):
         configure_sweep(
@@ -125,6 +139,9 @@ def main(argv=None):
             return 1
         print(text)
         print(engine_summary_line())
+        breakdown = component_breakdown_table()
+        if breakdown:
+            print(breakdown)
         print()
     return 0
 

@@ -111,6 +111,9 @@ class ProcessingElement(Component):
     # Opt-in invariant ledger; class attribute so the unchecked path
     # pays one "is None" test per MOMS event (see repro.faults).
     _ledger = None
+    # Opt-in telemetry collector (repro.telemetry), same gating: one
+    # "is None" test per tick / phase change / MOMS event when unset.
+    _tele = None
 
     def __init__(self, pe_index, spec, layout, mem, config,
                  moms_req, moms_resp, burst_ports, dma_resp,
@@ -169,6 +172,8 @@ class ProcessingElement(Component):
 
     def tick(self, engine):
         self._engine = engine
+        if self._tele is not None:
+            self._tele.pe_before_tick(self, engine.now)
         phase = self._phase
         if phase == IDLE:
             self._tick_idle(engine)
@@ -255,6 +260,14 @@ class ProcessingElement(Component):
                 or self._wb_acks_received >= self._wb_acks_expected:
             engine.wake(self)
 
+    def _set_phase(self, phase):
+        tele = self._tele
+        if tele is not None:
+            engine = self._engine
+            tele.pe_phase(self.pe_index, phase,
+                          engine.now if engine is not None else 0)
+        self._phase = phase
+
     def _can_stream_more(self):
         """True if _request_edge_bursts could issue on a later cycle."""
         if self._stream_cursor >= len(self._shards):
@@ -291,7 +304,7 @@ class ProcessingElement(Component):
     # -- init: burst-read node arrays into BRAM -------------------------------
 
     def _start_array_read(self, phase, base_addr):
-        self._phase = phase
+        self._set_phase(phase)
         self._rd_base = base_addr
         self._rd_total = self._n_local * 4
         self._rd_requested = 0
@@ -360,7 +373,7 @@ class ProcessingElement(Component):
     # -- edge pointers ---------------------------------------------------------
 
     def _start_pointers(self):
-        self._phase = POINTERS
+        self._set_phase(POINTERS)
         self._ptr_beats_expected = None  # known once the burst is issued
         self._ptr_beats_received = 0
         self._ptr_requested = False
@@ -402,7 +415,7 @@ class ProcessingElement(Component):
         self._stream_cursor = 0
         self._bursts_outstanding = 0
         self._beats_outstanding = 0
-        self._phase = STREAM
+        self._set_phase(STREAM)
 
     # -- edge streaming + gather ------------------------------------------------
 
@@ -550,6 +563,9 @@ class ProcessingElement(Component):
         self._outstanding_moms -= 1
         if self._ledger is not None:
             self._ledger.retire(("pe", self.pe_index), response.req_id)
+        if self._tele is not None:
+            self._tele.moms_retire(self.pe_index, response.req_id,
+                                   self._engine.now)
         if self.spec.weighted:
             del self._id_state[response.req_id]
             self._free_ids.append(response.req_id)
@@ -594,6 +610,8 @@ class ProcessingElement(Component):
         )
         if self._ledger is not None:
             self._ledger.issue(("pe", self.pe_index), req_id)
+        if self._tele is not None:
+            self._tele.moms_issue(self.pe_index, req_id, self._engine.now)
         self._outstanding_moms += 1
         self.stats.moms_reads += 1
 
@@ -611,7 +629,7 @@ class ProcessingElement(Component):
     # -- writeback -----------------------------------------------------------
 
     def _start_writeback(self):
-        self._phase = WRITEBACK
+        self._set_phase(WRITEBACK)
         apply_fn = self.spec.apply
         encode = self.spec.encode
         words = np.zeros(self._n_local, dtype=np.uint32)
@@ -663,5 +681,5 @@ class ProcessingElement(Component):
         ):
             self.done_channel.push((self._job.d, self._job_updated))
             self.stats.jobs_completed += 1
-            self._phase = IDLE
+            self._set_phase(IDLE)
             self._job = None

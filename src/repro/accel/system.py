@@ -72,7 +72,8 @@ class AcceleratorSystem:
 
     def __init__(self, graph, algorithm, config, use_hashing=True,
                  use_dbg=False, source=0, seed=0, checks=False,
-                 fault_plan=None, watchdog_window=200_000):
+                 fault_plan=None, watchdog_window=200_000,
+                 telemetry=None):
         self.original_graph = graph
         if isinstance(algorithm, AlgorithmSpec):
             self.spec = algorithm
@@ -124,6 +125,26 @@ class AcceleratorSystem:
         if fault_plan is not None:
             from repro.faults import install_faults
             install_faults(self, fault_plan)
+
+        # Opt-in cycle-resolved telemetry (repro.telemetry): accepts a
+        # TelemetryConfig, an attached-elsewhere Telemetry, or True for
+        # defaults.  Also lazily imported; the default path pays only
+        # the "is None" hook gates.
+        self.telemetry = None
+        if telemetry:
+            from repro.telemetry import Telemetry, TelemetryConfig
+            if isinstance(telemetry, Telemetry):
+                collector = telemetry
+            elif telemetry is True:
+                collector = Telemetry()
+            elif isinstance(telemetry, TelemetryConfig):
+                collector = Telemetry(telemetry)
+            else:
+                raise TypeError(
+                    f"telemetry must be a Telemetry, TelemetryConfig, or "
+                    f"True; got {telemetry!r}"
+                )
+            self.telemetry = collector.attach(self)
 
     # -- construction --------------------------------------------------------
 
@@ -242,6 +263,8 @@ class AcceleratorSystem:
             max_iterations = 10 if spec.always_active else 1_000
         iterations = 0
         start_cycle = self.engine.now
+        if self.telemetry is not None:
+            self.telemetry.begin(self.engine)
         for _ in range(max_iterations):
             if not spec.always_active:
                 self._update_active_flags()
@@ -264,6 +287,8 @@ class AcceleratorSystem:
             if not spec.always_active and not work_remains:
                 break
         cycles = self.engine.now - start_cycle
+        if self.telemetry is not None:
+            self.telemetry.finalize(self.engine)
         words = self.layout.read_values(self.mem, "in")
         if spec.node_bytes == 4:
             words = np.asarray(words, dtype=np.uint32)
@@ -304,7 +329,7 @@ class AcceleratorSystem:
 
     def _collect_stats(self):
         design = self.config.design
-        return {
+        stats = {
             "raw_stalls": sum(pe.stats.raw_stalls for pe in self.pes),
             "moms_request_stalls": sum(
                 pe.stats.moms_request_stalls for pe in self.pes
@@ -316,11 +341,16 @@ class AcceleratorSystem:
             "dram_lines_single": sum(
                 ch.stats.lines_single for ch in self.mem.channels
             ),
+            "dram_single_line_fraction": self.mem.single_line_fraction(),
+            "dram_effective_bw_ratio": self.mem.effective_bandwidth_ratio(),
             "stall_breakdown": self.hierarchy.stall_breakdown(),
             "organization": design.organization,
             "cycles_skipped": self.engine.cycles_skipped,
             "engine": self.engine.activity(),
         }
+        if self.telemetry is not None:
+            stats["telemetry"] = self.telemetry.summary()
+        return stats
 
 
 def run_algorithm(graph, algorithm, config, **kwargs):

@@ -100,6 +100,8 @@ class MomsBank(Component):
     # "is None" test per event (see repro.faults).
     _ledger = None
     _fault = None
+    # Opt-in telemetry collector (repro.telemetry), same gating.
+    _tele = None
 
     def __init__(self, params, req_in, resp_out, line_in, downstream,
                  store, name="bank", seed=1):
@@ -144,6 +146,8 @@ class MomsBank(Component):
     def tick(self, engine):
         # Hot path: direct _ready checks avoid method-call overhead on
         # the (frequent) idle cycles.
+        if self._tele is not None:
+            self._tele.bank_before_tick(self, engine.now)
         if self._drain_items is not None:
             self._drain_one()
             self.stats.busy_cycles += 1
@@ -202,6 +206,8 @@ class MomsBank(Component):
             # The returned line must match an issued in-flight miss;
             # verified before mshrs.remove can KeyError on corruption.
             self._ledger.retire(("bank", self.name), line_addr)
+        if self._tele is not None:
+            self._tele.miss_return(self.name, line_addr, self._engine.now)
         entry = self.mshrs.remove(line_addr)
         self.cache.fill(line_addr)
         self.stats.lines_returned += 1
@@ -313,6 +319,8 @@ class MomsBank(Component):
         self.downstream.issue(line_addr)
         if self._ledger is not None:
             self._ledger.issue(("bank", self.name), line_addr)
+        if self._tele is not None:
+            self._tele.miss_issue(self.name, line_addr, self._engine.now)
         self.req_in.pop()
         stats.requests += 1
         stats.primary_misses += 1

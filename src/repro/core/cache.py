@@ -24,6 +24,16 @@ class CacheStats:
     def hit_rate(self):
         return self.hits / self.probes if self.probes else 0.0
 
+    def as_dict(self):
+        """JSON-safe snapshot (telemetry / report export)."""
+        return {
+            "probes": self.probes,
+            "hits": self.hits,
+            "fills": self.fills,
+            "evictions": self.evictions,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
 
 class CacheArray:
     """Direct-mapped or set-associative presence-only cache array."""

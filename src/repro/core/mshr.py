@@ -34,6 +34,17 @@ class MshrStats:
     kicks: int = 0
     peak_occupancy: int = 0
 
+    def as_dict(self):
+        """JSON-safe snapshot (telemetry / report export)."""
+        return {
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "inserts": self.inserts,
+            "insert_failures": self.insert_failures,
+            "kicks": self.kicks,
+            "peak_occupancy": self.peak_occupancy,
+        }
+
 
 class CuckooMshrFile:
     """d-way cuckoo hash table of MSHR entries, BRAM-style.

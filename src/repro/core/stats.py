@@ -13,7 +13,14 @@ purely a scheduling metric -- cycle results are bit-identical between
 the two engines.
 """
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
+
+# Schema version of EngineActivity.as_dict() rows.  Bumped whenever a
+# field is added/renamed so journaled rows written by other code
+# versions are recognizable; from_dict() is tolerant in both
+# directions (unknown keys are dropped, missing keys take defaults),
+# which is what lets `--resume` reuse a journal across code changes.
+ACTIVITY_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -29,10 +36,18 @@ class EngineActivity:
     # runs with different component counts merge correctly.
     all_tick_equivalent: int = 0
     runs: int = 0
+    # Per-component-class {"count", "ticks", "wakes"} rows (see
+    # component_breakdown); summed across merged runs.
+    by_kind: dict = field(default_factory=dict)
 
     @classmethod
     def from_engine(cls, engine):
         """Snapshot the counters of one engine after a run."""
+        by_kind = {
+            entry.kind: {"count": entry.count, "ticks": entry.ticks,
+                         "wakes": entry.wakes}
+            for entry in component_breakdown(engine)
+        }
         return cls(
             cycles_simulated=engine.cycles_simulated,
             cycles_skipped=engine.cycles_skipped,
@@ -42,21 +57,32 @@ class EngineActivity:
                 engine.cycles_simulated * len(engine._components)
             ),
             runs=1,
+            by_kind=by_kind,
         )
 
     @classmethod
     def from_dict(cls, data):
-        """Rebuild from :meth:`as_dict` output (e.g. across processes)."""
-        return cls(**data)
+        """Rebuild from :meth:`as_dict` output (e.g. across processes).
+
+        Tolerant by design: keys this code version does not know
+        (including the ``version`` marker itself, or fields added by a
+        newer version) are ignored, and absent fields keep their
+        defaults, so resumed journals survive schema drift.
+        """
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
 
     def as_dict(self):
         return {
+            "version": ACTIVITY_SCHEMA_VERSION,
             "cycles_simulated": self.cycles_simulated,
             "cycles_skipped": self.cycles_skipped,
             "component_ticks": self.component_ticks,
             "component_wakes": self.component_wakes,
             "all_tick_equivalent": self.all_tick_equivalent,
             "runs": self.runs,
+            "by_kind": {kind: dict(row)
+                        for kind, row in self.by_kind.items()},
         }
 
     def merge(self, other):
@@ -69,6 +95,13 @@ class EngineActivity:
         self.component_wakes += other.component_wakes
         self.all_tick_equivalent += other.all_tick_equivalent
         self.runs += other.runs
+        for kind, row in other.by_kind.items():
+            mine = self.by_kind.get(kind)
+            if mine is None:
+                self.by_kind[kind] = dict(row)
+            else:
+                for key, value in row.items():
+                    mine[key] = mine.get(key, 0) + value
         return self
 
     @property
@@ -131,3 +164,23 @@ def component_breakdown(engine):
         entry.ticks += component.ticks
         entry.wakes += component.wakes
     return sorted(by_kind.values(), key=lambda e: -e.ticks)
+
+
+def breakdown_rows(by_kind, limit=None):
+    """Render a ``by_kind`` mapping as report-table rows, busiest first.
+
+    Accepts the dict form carried by :class:`EngineActivity` (merged
+    across sweep points and processes); ``limit`` keeps the table to
+    the top-N classes.
+    """
+    rows = [
+        {"component": kind,
+         "count": row.get("count", 0),
+         "ticks": row.get("ticks", 0),
+         "wakes": row.get("wakes", 0)}
+        for kind, row in by_kind.items()
+    ]
+    rows.sort(key=lambda r: -r["ticks"])
+    if limit is not None:
+        rows = rows[:limit]
+    return rows

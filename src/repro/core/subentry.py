@@ -20,6 +20,16 @@ class SubentryStats:
     peak_rows: int = 0
     peak_entries: int = 0
 
+    def as_dict(self):
+        """JSON-safe snapshot (telemetry / report export)."""
+        return {
+            "appends": self.appends,
+            "overflows": self.overflows,
+            "rows_allocated": self.rows_allocated,
+            "peak_rows": self.peak_rows,
+            "peak_entries": self.peak_entries,
+        }
+
 
 class SubentryStore:
     """A pool of linked rows of subentries."""

@@ -59,12 +59,33 @@ def iteration_budget(algorithm, quick=True):
     return 3 if quick else None
 
 
+def telemetry_from_env():
+    """Opt-in telemetry config from the environment, else None.
+
+    ``REPRO_TELEMETRY=1`` enables collection for every sweep point
+    (each journal row then carries the compact summary in
+    ``result.stats["telemetry"]``); ``REPRO_TELEMETRY_INTERVAL``
+    overrides the sampling period in cycles.
+    """
+    enabled = os.environ.get("REPRO_TELEMETRY", "").strip()
+    if enabled in ("", "0"):
+        return None
+    from repro.telemetry import TelemetryConfig
+
+    interval = os.environ.get("REPRO_TELEMETRY_INTERVAL", "").strip()
+    if interval:
+        return TelemetryConfig(sample_interval=int(interval))
+    return TelemetryConfig()
+
+
 def run_point(graph, algorithm, config, quick=True, use_hashing=True,
-              use_dbg=False, source=0):
+              use_dbg=False, source=0, telemetry=None):
     """One (graph, algorithm, architecture) measurement."""
+    if telemetry is None:
+        telemetry = telemetry_from_env()
     system = AcceleratorSystem(
         graph, algorithm, config, use_hashing=use_hashing, use_dbg=use_dbg,
-        source=source,
+        source=source, telemetry=telemetry,
     )
     result = system.run(
         max_iterations=iteration_budget(algorithm, quick)
@@ -154,6 +175,14 @@ class SweepFailure(RuntimeError):
         self.completed = completed
 
 
+# Version of the journal record layout.  Written into every record;
+# resume treats records with a *newer* major schema as unusable (the
+# payload layout may have changed) but accepts older/missing versions
+# -- payload decoding is guarded either way, so a stale or corrupt
+# entry degrades to "re-run that point", never a crash.
+JOURNAL_SCHEMA = 2
+
+
 def _fingerprint(point):
     """Stable identity of a point across processes (journal key).
 
@@ -161,6 +190,22 @@ def _fingerprint(point):
     affects the simulation; dataclass reprs are deterministic.
     """
     return hashlib.sha256(repr(point).encode("utf-8")).hexdigest()[:24]
+
+
+def _decode_payload(record):
+    """Payload of a journal record, or None if it cannot be trusted.
+
+    Journals survive code changes (that is their point), so the pickled
+    payload may have been written by a different code version; any
+    decode error -- truncated base64, missing classes, changed pickle
+    layout, newer schema -- means the point is simply re-run.
+    """
+    if record.get("schema", 1) > JOURNAL_SCHEMA:
+        return None
+    try:
+        return pickle.loads(base64.b64decode(record["payload"]))
+    except Exception:
+        return None
 
 
 def _load_journal(path):
@@ -230,10 +275,11 @@ def _run_points_hardened(worker, points, jobs, policy):
             cached = _load_journal(policy.journal)
             for index, point in enumerate(points):
                 record = cached.get(_fingerprint(point))
-                if record is not None:
-                    results[index] = pickle.loads(
-                        base64.b64decode(record["payload"])
-                    )
+                if record is None:
+                    continue
+                payload = _decode_payload(record)
+                if payload is not None:
+                    results[index] = payload
                     done[index] = True
         journal_handle = open(policy.journal, "a", encoding="utf-8")
 
@@ -255,6 +301,7 @@ def _run_points_hardened(worker, points, jobs, policy):
             results[index] = payload
             done[index] = True
             journal_write({
+                "schema": JOURNAL_SCHEMA,
                 "index": index,
                 "fingerprint": _fingerprint(point),
                 "point": repr(point),
@@ -273,6 +320,7 @@ def _run_points_hardened(worker, points, jobs, policy):
             return
         failures[index] = payload
         journal_write({
+            "schema": JOURNAL_SCHEMA,
             "index": index,
             "fingerprint": _fingerprint(point),
             "point": repr(point),

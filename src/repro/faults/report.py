@@ -61,6 +61,8 @@ def build_stall_report(engine, reason=""):
             "wakes": component.wakes,
             "armed": component._engine_order in engine._wake_next,
         })
+    from repro.core.stats import component_breakdown
+
     timers = sorted(engine._timers)[:16]
     time_sources = []
     for source in engine._time_sources:
@@ -76,6 +78,11 @@ def build_stall_report(engine, reason=""):
         "cycle": engine.now,
         "cycles_simulated": engine.cycles_simulated,
         "component_ticks": engine.component_ticks,
+        "component_breakdown": [
+            {"component": e.kind, "count": e.count,
+             "ticks": e.ticks, "wakes": e.wakes}
+            for e in component_breakdown(engine)
+        ],
         "stuck_channels": channels,
         "components": components,
         "timers": [
@@ -128,6 +135,17 @@ def format_stall_report(report):
             lines.append(
                 f"    {source['source']} pending={source['pending']} "
                 f"next={source['next_event']}"
+            )
+    breakdown = [
+        row for row in report.get("component_breakdown", ())
+        if row.get("ticks")
+    ]
+    if breakdown:
+        lines.append("  ticks by component class:")
+        for row in breakdown[:6]:
+            lines.append(
+                f"    {row['component']} x{row['count']} "
+                f"ticks={row['ticks']} wakes={row['wakes']}"
             )
     if len(lines) == 1:
         lines.append("  (no stuck channels, busy components, or timers)")

@@ -78,7 +78,12 @@ class MemRequest:
 
 @dataclass(slots=True)
 class MemResponse:
-    """One 64-byte beat of read data, or a write acknowledgement."""
+    """One 64-byte beat of read data, or a write acknowledgement.
+
+    ``issued_at`` is the cycle the channel accepted the originating
+    request; telemetry uses it to histogram accept->delivery latency
+    (queueing + service + backpressure included).
+    """
 
     tag: object
     addr: int
@@ -86,6 +91,7 @@ class MemResponse:
     beat: int = 0
     last: bool = True
     is_write_ack: bool = False
+    issued_at: int = -1
 
 
 @dataclass
@@ -98,8 +104,54 @@ class DramStats:
     writes: int = 0
     lines_single: int = 0
     lines_burst: int = 0
+    lines_written: int = 0
     peak_queue: int = 0
     extra: dict = field(default_factory=dict)
+
+    @property
+    def lines_total(self):
+        """Read lines delivered, burst + single."""
+        return self.lines_burst + self.lines_single
+
+    @property
+    def total_beats(self):
+        """All data-bus beats serviced (reads and writes)."""
+        return self.lines_burst + self.lines_single + self.lines_written
+
+    @property
+    def single_line_fraction(self):
+        """Share of read lines fetched as single (non-burst) accesses.
+
+        The paper's shell serves singles at half the burst rate, so a
+        fraction near 1.0 means the run is paying the ~50% random-read
+        bandwidth penalty of Section V-A.
+        """
+        total = self.lines_total
+        return self.lines_single / total if total else 0.0
+
+    @property
+    def effective_bandwidth_ratio(self):
+        """Beats delivered per busy cycle: 1.0 = pure burst streaming,
+        0.5 = all single-beat reads."""
+        return self.total_beats / self.busy_cycles if self.busy_cycles \
+            else 1.0
+
+    def as_dict(self):
+        return {
+            "bytes_read": self.bytes_read,
+            "bytes_written": self.bytes_written,
+            "busy_cycles": self.busy_cycles,
+            "reads_single": self.reads_single,
+            "reads_burst": self.reads_burst,
+            "writes": self.writes,
+            "lines_single": self.lines_single,
+            "lines_burst": self.lines_burst,
+            "lines_written": self.lines_written,
+            "peak_queue": self.peak_queue,
+            "single_line_fraction": round(self.single_line_fraction, 4),
+            "effective_bandwidth_ratio": round(
+                self.effective_bandwidth_ratio, 4),
+        }
 
 
 class DramChannel(Component):
@@ -110,6 +162,9 @@ class DramChannel(Component):
     # pays a single "is None" test (see repro.faults).
     _fault = None
     _ledger = None
+    # Opt-in telemetry collector (repro.telemetry), same gating: one
+    # "is None" test per delivered beat when unset.
+    _tele = None
 
     def __init__(self, timings, store, name="dram"):
         self.timings = timings
@@ -182,6 +237,7 @@ class DramChannel(Component):
         now = engine.now
         store = self.store
         ledger = self._ledger
+        tele = self._tele
         while delivered < limit and scheduled and scheduled[0][0] <= now:
             _, response, respond_to = scheduled[0]
             if respond_to is None:
@@ -208,6 +264,8 @@ class DramChannel(Component):
                 _, response, _ = scheduled.popleft()
                 if ledger is not None:
                     ledger.retire(("dram", self.name), response.addr)
+                if tele is not None and response.issued_at >= 0:
+                    tele.dram_deliver(self.name, now - response.issued_at)
                 if response.data is None and not response.is_write_ack:
                     response.data = store.read_bytes(response.addr, LINE_BYTES)
                 batch.append(response)
@@ -229,12 +287,14 @@ class DramChannel(Component):
             self._next_free = start + service
             self.stats.bytes_written += request.nbytes
             self.stats.writes += 1
+            self.stats.lines_written += beats
             self.stats.busy_cycles += service
             if request.respond_to is not None:
                 ack = MemResponse(
                     tag=request.tag,
                     addr=request.addr,
                     is_write_ack=True,
+                    issued_at=engine.now,
                 )
                 self._schedule(
                     start + service + self.timings.latency + extra_latency,
@@ -247,6 +307,7 @@ class DramChannel(Component):
                 addr=request.addr + beat * LINE_BYTES,
                 beat=beat,
                 last=beat == beats - 1,
+                issued_at=engine.now,
             )
             ready = start + (beat + 1) * cpb + self.timings.latency \
                 + extra_latency

@@ -108,6 +108,22 @@ class MemorySystem:
     def total_bytes_written(self):
         return sum(ch.stats.bytes_written for ch in self.channels)
 
+    def single_line_fraction(self):
+        """Share of read lines fetched as single accesses, all channels.
+
+        The visible form of the paper's ~50% random-read shell
+        limitation: singles are serviced at half the burst beat rate.
+        """
+        single = sum(ch.stats.lines_single for ch in self.channels)
+        total = sum(ch.stats.lines_total for ch in self.channels)
+        return single / total if total else 0.0
+
+    def effective_bandwidth_ratio(self):
+        """Beats delivered per busy cycle across channels (1.0 = burst)."""
+        beats = sum(ch.stats.total_beats for ch in self.channels)
+        busy = sum(ch.stats.busy_cycles for ch in self.channels)
+        return beats / busy if busy else 1.0
+
     def reset_stats(self):
         for channel in self.channels:
             channel.stats.__init__()

@@ -60,6 +60,48 @@ def engine_summary_line(activity=None, jobs=None):
     return activity.summary_line(jobs=jobs)
 
 
+def component_breakdown_table(by_kind=None, limit=6, title=None):
+    """Per-component-class tick/wake table ("who is ticking").
+
+    With no argument, renders the process-wide sweep tally's breakdown
+    (merged across points and worker processes).  Returns "" when no
+    breakdown is available -- e.g. a journal row written by an older
+    schema -- so callers can print unconditionally.
+    """
+    from repro.core.stats import breakdown_rows
+
+    if by_kind is None:
+        from repro.experiments.common import sweep_activity
+
+        by_kind = sweep_activity().by_kind
+    if not by_kind:
+        return ""
+    rows = breakdown_rows(by_kind, limit=limit)
+    return format_table(
+        rows,
+        columns=["component", "count", "ticks", "wakes"],
+        title=title or "component ticks (busiest classes)",
+    )
+
+
+def telemetry_summary_line(summary):
+    """One-line digest of a run's telemetry summary dict."""
+    if not summary:
+        return ""
+    dram = summary.get("dram", {})
+    latency = summary.get("dram_latency", {})
+    return (
+        f"telemetry: mshr peak {summary.get('mshr_peak', 0)} "
+        f"(mean {summary.get('mshr_mean', 0.0)}), "
+        f"dram p50/p99 latency "
+        f"{latency.get('p50', 0)}/{latency.get('p99', 0)} cycles, "
+        f"single-line fraction "
+        f"{dram.get('single_line_fraction', 0.0):.2f}, "
+        f"effective bw ratio {dram.get('effective_bw_ratio', 1.0):.2f}, "
+        f"{summary.get('samples', 0)} samples"
+    )
+
+
 def geomean(values):
     """Geometric mean, ignoring non-positive entries."""
     import math

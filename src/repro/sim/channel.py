@@ -254,6 +254,28 @@ class Channel:
         """Total tokens in flight (visible + staged)."""
         return len(self._ready) + len(self._staged)
 
+    @property
+    def fill_fraction(self):
+        """Occupancy as a fraction of capacity (telemetry gauge).
+
+        Uses in-flight tokens against the *true* capacity, so a
+        throttled channel reports >1.0-free rather than pretending the
+        clamp shrank the hardware FIFO.
+        """
+        limit = self.capacity if self._base_capacity is None \
+            else self._base_capacity
+        return self.pending / limit
+
+    def telemetry_row(self):
+        """Occupancy snapshot for samplers; never mutates state."""
+        return {
+            "pending": self.pending,
+            "visible": len(self._ready),
+            "capacity": self.capacity,
+            "total_pushed": self.total_pushed,
+            "total_popped": self.total_popped,
+        }
+
 
 class DelayLine:
     """An unbounded pipe that delivers each token ``latency`` cycles later.

@@ -111,6 +111,14 @@ class Engine:
     # Optional no-progress monitor (repro.faults.watchdog.Watchdog);
     # the run loop pays a single "is None" test per step when unset.
     watchdog = None
+    # Optional telemetry sampler (repro.telemetry.Telemetry): same
+    # contract as the watchdog -- exposes ``next_sample`` and
+    # ``sample(engine)``, costs one "is None" test per step when unset,
+    # and never mutates simulated state (cycle results are identical
+    # with sampling on or off).  Sampling happens after a simulated
+    # step only; fast-forwarded idle windows hold no state changes, so
+    # the skipped rows would have duplicated the previous one.
+    sampler = None
 
     def __init__(self):
         self.now = 0
@@ -320,6 +328,7 @@ class Engine:
         watchdog = self.watchdog
         if watchdog is not None:
             watchdog.begin(self)
+        sampler = self.sampler
         while True:
             if done is not None and done():
                 break
@@ -345,6 +354,8 @@ class Engine:
             self._step()
             if watchdog is not None and self.now >= watchdog.next_check:
                 watchdog.check(self)
+            if sampler is not None and self.now >= sampler.next_sample:
+                sampler.sample(self)
             if legacy and not self._active:
                 next_time = self._scan_next_event_time()
                 if next_time is not None and next_time > self.now:

@@ -1,0 +1,39 @@
+"""Opt-in cycle-resolved telemetry: timelines, histograms, stalls.
+
+Everything here is off unless a run passes ``telemetry=`` to
+:class:`repro.accel.system.AcceleratorSystem` (or sets
+``REPRO_TELEMETRY=1`` for sweeps); the disabled hooks are single
+``is None`` tests on class attributes.
+"""
+
+from repro.telemetry.collector import (
+    TELEMETRY_SCHEMA_VERSION,
+    LatencyHistogram,
+    Telemetry,
+    TelemetryConfig,
+)
+from repro.telemetry.export import (
+    validate_timeline_jsonl,
+    write_summary_json,
+    write_timeline_csv,
+    write_timeline_jsonl,
+)
+from repro.telemetry.trace import (
+    to_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+
+__all__ = [
+    "TELEMETRY_SCHEMA_VERSION",
+    "LatencyHistogram",
+    "Telemetry",
+    "TelemetryConfig",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+    "validate_timeline_jsonl",
+    "write_summary_json",
+    "write_timeline_csv",
+    "write_timeline_jsonl",
+]

@@ -1,0 +1,145 @@
+"""Chrome ``trace_event`` export of a telemetry collection.
+
+The output follows the Trace Event Format's "JSON Object Format"
+(https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU),
+loadable by Perfetto (https://ui.perfetto.dev) and legacy
+``chrome://tracing``:
+
+* ``"X"`` complete events -- one per PE phase span (idle / init /
+  pointers / stream / writeback), on one track (``tid``) per PE;
+* ``"C"`` counter events -- per-bank MSHR + subentry occupancy, DRAM
+  queue depth and rolling bandwidth, emitted from the sampled gauge
+  rows;
+* ``"M"`` metadata events naming the processes and threads.
+
+Timestamps are microseconds in the format; we map 1 simulated cycle to
+1 us so Perfetto's time axis reads directly in cycles.
+"""
+
+import json
+
+# Synthetic process ids grouping the tracks in the viewer.
+_PID_PES = 1
+_PID_MEMORY = 2
+
+_COUNTER_PREFIXES = ("bank.", "dram.")
+
+
+def to_chrome_trace(telemetry, cycle_us=1.0):
+    """Build the trace as a JSON-ready dict (1 cycle == ``cycle_us`` us)."""
+    events = [
+        {"ph": "M", "pid": _PID_PES, "name": "process_name",
+         "args": {"name": "processing elements"}},
+        {"ph": "M", "pid": _PID_MEMORY, "name": "process_name",
+         "args": {"name": "memory system"}},
+    ]
+    for pe_index in sorted(telemetry.moms_latency):
+        events.append({
+            "ph": "M", "pid": _PID_PES, "tid": pe_index,
+            "name": "thread_name", "args": {"name": f"pe{pe_index}"},
+        })
+    for track, track_id, label, start, end in telemetry.spans:
+        if track != "pe" or label == "idle":
+            continue  # idle gaps read better as empty space on the track
+        events.append({
+            "ph": "X", "pid": _PID_PES, "tid": track_id,
+            "name": label, "cat": "phase",
+            "ts": start * cycle_us, "dur": (end - start) * cycle_us,
+        })
+    for row in telemetry.samples:
+        ts = row["cycle"] * cycle_us
+        mshr_args = {"total": row.get("mshr_total", 0)}
+        subentry_args = {"total": row.get("subentries_total", 0)}
+        queue_args = {}
+        bw_args = {}
+        for key, value in row.items():
+            if key.startswith("bank."):
+                _, bank, series = key.split(".", 2)
+                if series == "mshr":
+                    mshr_args[bank] = value
+                elif series == "subentries":
+                    subentry_args[bank] = value
+            elif key.startswith("dram."):
+                _, channel, series = key.split(".", 2)
+                if series == "queue":
+                    queue_args[channel] = value
+                elif series == "bw_bytes_per_cycle":
+                    bw_args[channel] = value
+        events.append({"ph": "C", "pid": _PID_MEMORY, "tid": 0,
+                       "name": "mshr in flight", "ts": ts,
+                       "args": mshr_args})
+        events.append({"ph": "C", "pid": _PID_MEMORY, "tid": 0,
+                       "name": "subentries live", "ts": ts,
+                       "args": subentry_args})
+        if queue_args:
+            events.append({"ph": "C", "pid": _PID_MEMORY, "tid": 0,
+                           "name": "dram queue depth", "ts": ts,
+                           "args": queue_args})
+        if bw_args:
+            events.append({"ph": "C", "pid": _PID_MEMORY, "tid": 0,
+                           "name": "dram bandwidth B/cycle", "ts": ts,
+                           "args": bw_args})
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "source": "repro.telemetry",
+            "cycles_per_us": 1.0 / cycle_us if cycle_us else 0.0,
+            "start_cycle": telemetry.start_cycle,
+            "end_cycle": telemetry.end_cycle,
+        },
+    }
+
+
+def write_chrome_trace(telemetry, path, cycle_us=1.0):
+    """Write the trace JSON to *path*; returns the event count."""
+    trace = to_chrome_trace(telemetry, cycle_us=cycle_us)
+    with open(path, "w") as fh:
+        json.dump(trace, fh)
+    return len(trace["traceEvents"])
+
+
+def validate_chrome_trace(path):
+    """Parse *path* and check trace_event structural rules.
+
+    Raises ``ValueError`` on the first violation; returns a dict of
+    per-phase-type event counts on success.  This is what the CI
+    telemetry-smoke job runs against the exported artifact.
+    """
+    with open(path) as fh:
+        trace = json.load(fh)
+    if not isinstance(trace, dict) or "traceEvents" not in trace:
+        raise ValueError("trace must be an object with a traceEvents list")
+    events = trace["traceEvents"]
+    if not isinstance(events, list) or not events:
+        raise ValueError("traceEvents must be a non-empty list")
+    counts = {}
+    for i, event in enumerate(events):
+        if not isinstance(event, dict):
+            raise ValueError(f"event {i} is not an object")
+        ph = event.get("ph")
+        if not isinstance(ph, str) or not ph:
+            raise ValueError(f"event {i} has no phase type 'ph'")
+        if "name" not in event:
+            raise ValueError(f"event {i} ({ph}) has no name")
+        if ph in ("X", "C"):
+            ts = event.get("ts")
+            if not isinstance(ts, (int, float)):
+                raise ValueError(f"event {i} ({ph}) has non-numeric ts")
+            if "pid" not in event or "tid" not in event:
+                raise ValueError(f"event {i} ({ph}) lacks pid/tid")
+        if ph == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise ValueError(f"event {i} (X) has invalid dur")
+        if ph == "C":
+            args = event.get("args")
+            if not isinstance(args, dict) or not args:
+                raise ValueError(f"event {i} (C) has no args values")
+            for key, value in args.items():
+                if not isinstance(value, (int, float)):
+                    raise ValueError(
+                        f"event {i} (C) arg {key!r} is non-numeric"
+                    )
+        counts[ph] = counts.get(ph, 0) + 1
+    return counts

@@ -25,3 +25,21 @@ class TestCli:
     def test_table4_style_experiment(self, capsys):
         assert main(["table3"]) == 0
         assert "preprocessing time" in capsys.readouterr().out
+
+    def test_list_includes_trace(self, capsys):
+        assert main(["list"]) == 0
+        assert "trace" in capsys.readouterr().out
+
+    def test_trace_subcommand_exports_and_validates(self, capsys,
+                                                    tmp_path):
+        prefix = str(tmp_path / "out" / "run")
+        assert main([
+            "trace", "--graph", "RV", "--algorithm", "bfs",
+            "--interval", "128", "--out", prefix, "--csv",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "PE cycle accounting" in out
+        assert "validated" in out
+        for suffix in (".trace.json", ".timeline.jsonl",
+                       ".timeline.csv", ".summary.json"):
+            assert (tmp_path / "out" / f"run{suffix}").exists()
