@@ -1,24 +1,36 @@
 """Quick simulator benchmark suite -> BENCH_sim.json.
 
-Measures the wall-clock effect of the demand-driven engine and the
-parallel sweep runner on a fixed four-point suite (PageRank on the RV
-stand-in across the shared / private / two-level / traditional
+Measures the wall-clock effect of the demand-driven engine, the
+hot-path kernelization (SoA channels, token pooling, batched stepping),
+and the parallel sweep runner on a fixed four-point suite (PageRank on
+the RV stand-in across the shared / private / two-level / traditional
 organizations -- the same workload family as Fig. 1/11):
 
 * **baseline**: the seed schedule -- all-tick legacy engine
   (``REPRO_ENGINE=legacy``), points run serially;
-* **optimized**: demand-driven engine, points run through
+* **optimized (serial)**: demand-driven engine, serial -- isolates the
+  engine + kernelization effect;
+* **optimized (parallel)**: demand-driven engine, points run through
   :func:`repro.experiments.common.run_points` with ``REPRO_JOBS``
-  workers (so the combined speedup scales with the host's cores; on a
-  single-core runner it measures the engine alone).
+  workers (defaults to the CPU count), so multi-core hosts show the
+  real combined speedup; single-core hosts skip this pass.
 
-Cycle counts are asserted identical between the two passes -- the
-speedup is free of model drift by construction.  A micro-benchmark of
-``Channel.push_many`` against per-token ``push`` rounds out the file.
+``combined_speedup`` is the baseline wall over the best optimized wall.
+Cycle counts are asserted identical between every pass -- the speedup
+is free of model drift by construction.  Each point also reports
+steady-state token constructions per simulated cycle (near zero with
+the freelists circulating), and a dedicated micro-benchmark races the
+same point with pooling disabled (``REPRO_POOL=0``) to quantify the
+drop.  Micro-benchmarks of ``Channel.push_many`` and the disabled
+fault/telemetry gates (<3% budget each) round out the file.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/bench_sim.py [--output BENCH_sim.json]
+    PYTHONPATH=src python benchmarks/bench_sim.py [--quick] \
+        [--output BENCH_sim.json]
+
+``--quick`` runs the same suite and gates on a smaller graph with a
+one-iteration budget (the CI perf-smoke configuration).
 """
 
 import argparse
@@ -26,11 +38,14 @@ import json
 import os
 import pathlib
 import platform
+import subprocess
 import sys
+import tempfile
 import time
 
 from repro.accel.config import ArchitectureConfig, SCALED_DEFAULTS, _design
 from repro.accel.system import AcceleratorSystem
+from repro.core import messages
 from repro.core.stats import EngineActivity
 from repro.experiments.common import bench_graph, default_jobs, run_points
 from repro.fabric.design import (
@@ -50,18 +65,26 @@ SUITE = (
     ("private", MOMS_PRIVATE),
 )
 
+# --quick swaps the suite point for a smaller graph and budget; the
+# passes, assertions, and gates are identical (CI perf-smoke config).
+_QUICK = {"graph": "WT", "iterations": 1}
+_FULL = {"graph": "RV", "iterations": 2}
+_SCALE = _FULL
+
 
 def _point(label_org):
     label, organization = label_org
-    graph = bench_graph("RV", True)
+    graph = bench_graph(_SCALE["graph"], True)
     config = ArchitectureConfig(
         _design(4, 4, organization, "pagerank", n_channels=2),
         **SCALED_DEFAULTS,
     )
     start = time.perf_counter()
     system = AcceleratorSystem(graph, "pagerank", config)
-    result = system.run(max_iterations=2)
+    messages.reset_pool_counters()
+    result = system.run(max_iterations=_SCALE["iterations"])
     wall = time.perf_counter() - start
+    fresh = messages.fresh_allocations()
     activity = EngineActivity.from_engine(system.engine)
     return {
         "organization": label,
@@ -69,6 +92,9 @@ def _point(label_org):
         "gteps": result.gteps,
         "wall_s": round(wall, 3),
         "tick_fraction": round(activity.tick_fraction, 4),
+        "fresh_tokens": fresh,
+        "allocs_per_cycle": round(fresh / result.cycles, 5)
+        if result.cycles else 0.0,
         "activity": activity.as_dict(),
     }
 
@@ -87,7 +113,65 @@ def run_pass(engine_kind, jobs):
         "wall_s": round(wall, 3),
         "points": rows,
         "tick_fraction": round(activity.tick_fraction, 4),
+        "allocs_per_cycle": round(
+            sum(row["fresh_tokens"] for row in rows)
+            / max(1, sum(row["cycles"] for row in rows)), 5
+        ),
         "summary": activity.summary_line(jobs=jobs),
+    }
+
+
+def bench_pooling_off(quick):
+    """Token constructions per cycle with pooling disabled vs enabled.
+
+    ``REPRO_POOL`` is read once at import, so the pooling-off leg runs
+    in a fresh interpreter; the pooling-on leg matches it in-process on
+    the same point for an apples-to-apples allocation rate.
+    """
+    scale = _QUICK if quick else _FULL
+    script = (
+        "import json\n"
+        "from repro.accel.config import ArchitectureConfig, "
+        "SCALED_DEFAULTS, _design\n"
+        "from repro.accel.system import AcceleratorSystem\n"
+        "from repro.core import messages\n"
+        "from repro.experiments.common import bench_graph\n"
+        "from repro.fabric.design import MOMS_TWO_LEVEL\n"
+        f"graph = bench_graph({scale['graph']!r}, True)\n"
+        "config = ArchitectureConfig(_design(4, 4, MOMS_TWO_LEVEL, "
+        "'pagerank', n_channels=2), **SCALED_DEFAULTS)\n"
+        "system = AcceleratorSystem(graph, 'pagerank', config)\n"
+        "messages.reset_pool_counters()\n"
+        f"result = system.run(max_iterations={scale['iterations']})\n"
+        "print(json.dumps({'fresh': messages.fresh_allocations(), "
+        "'cycles': result.cycles, "
+        "'pooling': messages.POOLING_ENABLED}))\n"
+    )
+
+    def leg(pool_env):
+        env = dict(os.environ)
+        env["REPRO_POOL"] = pool_env
+        env["REPRO_ENGINE"] = "demand"
+        src = str(pathlib.Path(__file__).resolve().parent.parent / "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        output = subprocess.run(
+            [sys.executable, "-c", script], env=env, check=True,
+            capture_output=True, text=True,
+        ).stdout
+        return json.loads(output.strip().splitlines()[-1])
+
+    off = leg("0")
+    on = leg("1")
+    assert off["cycles"] == on["cycles"], (off, on)
+    assert not off["pooling"] and on["pooling"]
+    return {
+        "point": f"PageRank / {scale['graph']} / two-level 4x4",
+        "cycles": on["cycles"],
+        "allocs_per_cycle_unpooled": round(off["fresh"] / off["cycles"], 4),
+        "allocs_per_cycle_pooled": round(on["fresh"] / on["cycles"], 4),
+        "allocation_reduction": round(
+            off["fresh"] / max(1, on["fresh"]), 1
+        ),
     }
 
 
@@ -318,26 +402,58 @@ def bench_telemetry_overhead(repeats=3):
 
 
 def main(argv=None):
+    global _SCALE
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--output",
         default=str(pathlib.Path(__file__).resolve().parent.parent
                     / "BENCH_sim.json"),
     )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="smaller graph + one-iteration budget (CI perf-smoke)",
+    )
     args = parser.parse_args(argv)
-    jobs = default_jobs()
+    _SCALE = _QUICK if args.quick else _FULL
+    jobs = default_jobs()  # honours REPRO_JOBS, else the CPU count
+
+    # Let parallel sweep workers share generated graphs on disk instead
+    # of each rebuilding them (repro.graph.cache); respect an explicit
+    # operator setting.
+    cache_tmp = None
+    if not os.environ.get("REPRO_GRAPH_CACHE", "").strip():
+        cache_tmp = tempfile.mkdtemp(prefix="repro-graph-cache-")
+        os.environ["REPRO_GRAPH_CACHE"] = cache_tmp
 
     print(f"baseline pass: legacy engine, serial ({len(SUITE)} points)")
     baseline = run_pass("legacy", jobs=1)
     print(f"  wall {baseline['wall_s']:.2f}s")
-    print(f"optimized pass: demand engine, jobs={jobs}")
-    optimized = run_pass("demand", jobs=jobs)
-    print(f"  wall {optimized['wall_s']:.2f}s")
-    print(f"  {optimized['summary']}")
+    print("optimized pass (serial): demand engine, jobs=1")
+    optimized_serial = run_pass("demand", jobs=1)
+    print(f"  wall {optimized_serial['wall_s']:.2f}s")
+    print(f"  {optimized_serial['summary']}")
+    if jobs > 1:
+        print(f"optimized pass (parallel): demand engine, jobs={jobs}")
+        optimized_parallel = run_pass("demand", jobs=jobs)
+        print(f"  wall {optimized_parallel['wall_s']:.2f}s")
+    else:
+        optimized_parallel = None
+        print("optimized pass (parallel): skipped (single worker; set "
+              "REPRO_JOBS to override)")
 
-    for before, after in zip(baseline["points"], optimized["points"]):
-        assert before["cycles"] == after["cycles"], (before, after)
-        assert before["gteps"] == after["gteps"], (before, after)
+    passes = [optimized_serial]
+    if optimized_parallel is not None:
+        passes.append(optimized_parallel)
+    for optimized in passes:
+        for before, after in zip(baseline["points"], optimized["points"]):
+            assert before["cycles"] == after["cycles"], (before, after)
+            assert before["gteps"] == after["gteps"], (before, after)
+
+    print("pooling micro: allocations/cycle with freelists off vs on")
+    pooling = bench_pooling_off(args.quick)
+    print(f"  {pooling['allocs_per_cycle_unpooled']} -> "
+          f"{pooling['allocs_per_cycle_pooled']} allocations/cycle "
+          f"({pooling['allocation_reduction']}x fewer)")
 
     print("checks-overhead gate: implied checks-off cost vs 3% budget")
     checks = bench_checks_overhead()
@@ -354,27 +470,34 @@ def main(argv=None):
           f"over {telemetry['wall_off_s']}s); telemetry-on slowdown "
           f"{telemetry['telemetry_on_slowdown']}x")
 
-    combined = baseline["wall_s"] / optimized["wall_s"]
+    best_wall = min(p["wall_s"] for p in passes)
+    combined = baseline["wall_s"] / best_wall
+    engine_speedup = baseline["wall_s"] / optimized_serial["wall_s"]
     report = {
-        "suite": "PageRank/RV quick suite "
+        "suite": f"PageRank/{_SCALE['graph']} quick suite "
                  "(shared, private, two-level, traditional)",
+        "quick": args.quick,
         "host": {
             "cpu_count": os.cpu_count(),
             "python": platform.python_version(),
             "jobs": jobs,
         },
         "baseline_legacy_serial": baseline,
-        "optimized_demand_parallel": optimized,
+        "optimized_demand_serial": optimized_serial,
+        "optimized_demand_parallel": optimized_parallel,
+        "engine_speedup_serial": round(engine_speedup, 2),
         "combined_speedup": round(combined, 2),
         "cycles_identical": True,
+        "pooling_micro": pooling,
         "push_many_micro": bench_push_many(),
         "checks_overhead": checks,
         "telemetry_overhead": telemetry,
     }
     with open(args.output, "w") as fh:
         json.dump(report, fh, indent=2)
-    print(f"combined speedup {combined:.2f}x "
-          f"(engine + {jobs}-way sweeps on {os.cpu_count()} cpus)")
+    print(f"engine speedup {engine_speedup:.2f}x serial; combined "
+          f"{combined:.2f}x (best of serial/parallel, jobs={jobs} on "
+          f"{os.cpu_count()} cpus)")
     print(f"wrote {args.output}")
     return 0
 

@@ -9,6 +9,8 @@ Usage::
     python -m repro faultsmoke       # fault-injection smoke matrix
     python -m repro trace --graph RV --algorithm pagerank \
         --out out/rv                 # telemetry-instrumented run + export
+    python -m repro profile --graph RV --org two-level \
+                                     # cProfile one point, component table
 
 Resilience flags (any of them activates the hardened sweep runner;
 see ``repro.experiments.common.SweepPolicy``)::
@@ -75,6 +77,12 @@ def main(argv=None):
         "trace options (for the 'trace' command)"
     )
     add_trace_arguments(trace_group)
+    from repro.profiling import add_profile_arguments
+
+    profile_group = parser.add_argument_group(
+        "profile options (for the 'profile' command)"
+    )
+    add_profile_arguments(profile_group)
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -82,12 +90,18 @@ def main(argv=None):
             print(f"{key:10s} repro.experiments.{module}")
         print(f"{'faultsmoke':10s} repro.faults.smoke")
         print(f"{'trace':10s} repro.telemetry.cli")
+        print(f"{'profile':10s} repro.profiling")
         return 0
 
     if args.experiment == "trace":
         from repro.telemetry.cli import run_trace
 
         return run_trace(args)
+
+    if args.experiment == "profile":
+        from repro.profiling import run_profile
+
+        return run_profile(args)
 
     if args.experiment == "faultsmoke":
         from repro.faults.smoke import run_fault_smoke

@@ -27,9 +27,8 @@ from collections import deque
 
 import numpy as np
 
-from repro.core.messages import MomsRequest
 from repro.graph.encoding import EDGE_DST_BITS, EDGE_SRC_BITS, TERMINATOR_BIT
-from repro.mem.dram import LINE_BYTES, MemRequest
+from repro.mem.dram import LINE_BYTES, MemRequest, MemResponse
 from repro.sim import Component
 
 IDLE = "idle"
@@ -45,23 +44,29 @@ _U32 = struct.Struct("=I")  # native-endian u32, same layout numpy views use
 
 
 class BurstRequester:
-    """Issues (possibly channel-spanning) bursts into per-channel ports."""
+    """Issues (possibly channel-spanning) bursts into per-channel ports.
+
+    Works directly off the address interleaver's piece list, so the
+    capacity probe and beat count allocate nothing; ``issue`` draws its
+    piece requests from the :class:`MemRequest` freelist.
+    """
 
     def __init__(self, mem, channel_ports, respond_to):
         self.mem = mem
+        self.interleaver = mem.interleaver
         self.channel_ports = channel_ports
         self.respond_to = respond_to
 
     def can_issue(self, addr, nbytes, is_write=False):
+        pieces = self.interleaver.split(addr, nbytes)
+        ports = self.channel_ports
+        if len(pieces) == 1:
+            return ports[pieces[0][0]].can_push()
         needed = {}
-        probe_data = np.zeros(nbytes, dtype=np.uint8) if is_write else None
-        for channel, _piece in self.mem.split_burst(
-            MemRequest(addr=addr, nbytes=nbytes, kind="burst",
-                       is_write=is_write, data=probe_data)
-        ):
+        for channel, _local, _nbytes, _global_addr in pieces:
             needed[channel] = needed.get(channel, 0) + 1
         for channel, count in needed.items():
-            if not self.channel_ports[channel].can_push_n(count):
+            if not ports[channel].can_push_n(count):
                 return False
         return True
 
@@ -72,19 +77,40 @@ class BurstRequester:
         channel, and an unaligned piece rounds up to whole lines -- the
         sum can exceed ceil(nbytes / 64).
         """
-        pieces = self.mem.split_burst(
-            MemRequest(addr=addr, nbytes=nbytes, kind="burst")
+        return sum(
+            -(-piece_bytes // LINE_BYTES)
+            for _c, _l, piece_bytes, _g in self.interleaver.split(addr, nbytes)
         )
-        return sum(-(-piece.nbytes // LINE_BYTES) for _, piece in pieces)
 
     def issue(self, addr, nbytes, tag, is_write=False, data=None):
-        request = MemRequest(
-            addr=addr, nbytes=nbytes, kind="burst", is_write=is_write,
-            tag=tag, respond_to=self.respond_to, data=data,
-        )
-        pieces = self.mem.split_burst(request)
-        for channel, piece in pieces:
-            self.channel_ports[channel].push(piece)
+        pieces = self.interleaver.split(addr, nbytes)
+        ports = self.channel_ports
+        respond_to = self.respond_to
+        pool = MemRequest._pool
+        if is_write:
+            data = np.asarray(data, dtype=np.uint8)
+        for channel, _local, piece_bytes, global_addr in pieces:
+            piece_data = None
+            if is_write:
+                offset = global_addr - addr
+                piece_data = data[offset:offset + piece_bytes]
+            if pool:
+                request = pool.pop()
+                request.addr = global_addr
+                request.nbytes = piece_bytes
+                request.kind = "burst"
+                request.is_write = is_write
+                request.tag = tag
+                request.respond_to = respond_to
+                request.data = piece_data
+            else:
+                MemRequest._fresh += 1
+                request = MemRequest(
+                    addr=global_addr, nbytes=piece_bytes, kind="burst",
+                    is_write=is_write, tag=tag, respond_to=respond_to,
+                    data=piece_data,
+                )
+            ports[channel].push(request)
         return len(pieces)
 
 
@@ -132,17 +158,16 @@ class ProcessingElement(Component):
         self.stats = PEStats()
 
         # Wake on anything that can unblock the state machine: a new
-        # job, returned DMA beats / write acks, MOMS responses, and
-        # freed space on the request ports the PE pushes into.  Purely
-        # internal progress (BRAM applies, gather commits, burst
-        # issue slots) is re-armed per tick in _arm().
+        # job, returned DMA beats / write acks, and MOMS responses.
+        # Purely internal progress (BRAM applies, gather commits, burst
+        # issue slots) is re-armed per tick in _arm(), which also spins
+        # while a burst port is full; a full MOMS request port arms a
+        # one-shot space wake at the stall site instead of a static
+        # subscription, so bank-side pops stop waking PEs with nothing
+        # to send.
         job_channel.subscribe_data(self)
         dma_resp.subscribe_data(self)
         moms_resp.subscribe_data(self)
-        moms_req.subscribe_space(self)
-        for port in burst_ports:
-            if port is not None:
-                port.subscribe_space(self)
 
         part = layout.partitioning
         self._nd = part.n_dst
@@ -209,7 +234,7 @@ class ProcessingElement(Component):
             # A job may already be sitting in the channel from before
             # this PE went idle (pushed while we were busy, so its data
             # wake ticked us mid-job and won't fire again).
-            if self.job_channel._ready:
+            if self.job_channel._visible:
                 engine.wake(self)
             return
         if phase in (INIT_CONST, INIT_VIN):
@@ -226,7 +251,7 @@ class ProcessingElement(Component):
         if phase == STREAM:
             if self._pipeline:
                 engine.wake_at(self, self._pipeline[0][0])
-            if (self.dma_resp._ready or self.moms_resp._ready
+            if (self.dma_resp._visible or self.moms_resp._visible
                     or self._can_stream_more()):
                 # Beats to decode, responses to serve (or spin on a RAW
                 # hazard, matching the all-tick stall cadence), or a
@@ -245,7 +270,11 @@ class ProcessingElement(Component):
                     pass  # IDs free only via responses -> moms_resp wake
                 elif self.moms_req.free_slots() > 0:
                     engine.wake(self)
-                # else: request port full -> its space wake re-arms us
+                else:
+                    # Request port full: one-shot wake from its next
+                    # commit with free space (usually already armed by
+                    # the _process_edges stall this tick; dedup'd).
+                    self.moms_req.request_space_wake(self)
             elif self._stream_done():
                 # The POINTERS->STREAM transition tick never ran
                 # _tick_stream; an already-empty stream (no active
@@ -283,7 +312,7 @@ class ProcessingElement(Component):
     # -- idle: pull the next job ---------------------------------------------
 
     def _tick_idle(self, engine):
-        if not self.job_channel.can_pop():
+        if not self.job_channel._visible:
             return
         job = self.job_channel.pop()
         self._job = job
@@ -327,15 +356,26 @@ class ProcessingElement(Component):
                 self.dma.issue(addr, nbytes, tag=("init", self._phase))
                 self._rd_requested += nbytes
                 self._rd_burst_outstanding = beats
-        # Drain arriving beats into the apply backlog.
-        while self.dma_resp.can_pop():
-            beat = self.dma_resp.pop()
-            self._rd_burst_outstanding -= 1
-            self._rd_received += 1
-            start = (beat.addr - self._rd_base) // 4
-            count = min(16, self._n_local - start)
-            words = beat.data[:4 * count].view(np.uint32).tolist()
-            self._apply_backlog.append((start, words))
+        # Drain all arriving beats into the apply backlog in one bulk
+        # pop; the beats are fully consumed here, so they recycle to
+        # the freelist immediately.
+        beats = self.dma_resp.pop_all()
+        if beats:
+            pool = MemResponse._pool
+            base = self._rd_base
+            n_local = self._n_local
+            backlog = self._apply_backlog
+            for beat in beats:
+                start = (beat.addr - base) // 4
+                count = min(16, n_local - start)
+                backlog.append(
+                    (start, beat.data[:4 * count].view(np.uint32).tolist())
+                )
+                if pool is not None:
+                    beat.data = None
+                    pool.append(beat)
+            self._rd_burst_outstanding -= len(beats)
+            self._rd_received += len(beats)
         if self._apply_backlog:
             engine.mark_active()  # BRAM writes advance without channel traffic
         # Apply at the BRAM port rate (4 node writes per cycle).
@@ -390,9 +430,14 @@ class ProcessingElement(Component):
                 self.dma.issue(base, nbytes, tag=("ptrs",))
                 self._ptr_requested = True
             return
-        while self.dma_resp.can_pop():
-            self.dma_resp.pop()
-            self._ptr_beats_received += 1
+        beats = self.dma_resp.pop_all()
+        if beats:
+            self._ptr_beats_received += len(beats)
+            pool = MemResponse._pool
+            if pool is not None:
+                for beat in beats:
+                    beat.data = None
+                    pool.append(beat)
         if self._ptr_beats_received < self._ptr_beats_expected:
             return
         # Parse the pointers (bit-identical to the transferred beats).
@@ -438,9 +483,9 @@ class ProcessingElement(Component):
                 engine.mark_active()  # internal state is advancing
         if self._stream_cursor < len(self._shards):
             self._request_edge_bursts()
-        if self.dma_resp._ready:
+        if self.dma_resp._visible:
             self._decode_edge_beats()
-        if self.moms_resp._ready:
+        if self.moms_resp._visible:
             gather_free = self._process_response()
         else:
             gather_free = True
@@ -478,20 +523,26 @@ class ProcessingElement(Component):
             return  # one burst issued per cycle
 
     def _decode_edge_beats(self):
-        # Pull up to one beat per cycle from the DMA queue (512-bit port).
-        if not self.dma_resp.can_pop():
+        # Pull up to one beat per cycle from the DMA queue (512-bit
+        # port) -- an architectural rate, not a simulator artifact.
+        if not self.dma_resp._visible:
             return
         beat = self.dma_resp.pop()
-        kind = beat.tag[0]
-        if kind != "edges":
-            raise AssertionError(f"unexpected DMA beat {beat.tag} in stream")
-        s = beat.tag[1]
+        tag = beat.tag
+        if tag[0] != "edges":
+            raise AssertionError(f"unexpected DMA beat {tag} in stream")
+        s = tag[1]
         if beat.last:
             self._bursts_outstanding -= 1
         self._beats_outstanding -= 1
         # Decode over plain Python ints (one bulk conversion) -- numpy
-        # scalar iteration costs ~10x per word on this hot path.
+        # scalar iteration costs ~10x per word on this hot path.  The
+        # conversion copies, so the beat recycles before the decode.
         words = beat.data.view(np.uint32).tolist()
+        pool = MemResponse._pool
+        if pool is not None:
+            beat.data = None
+            pool.append(beat)
         weighted = self.spec.weighted
         src_base = s * self._ns
         shard = self._shard_by_s[s]
@@ -545,31 +596,33 @@ class ProcessingElement(Component):
 
     def _process_response(self):
         """Serve one MOMS response; returns True if the gather slot is free."""
-        if not self.moms_resp.can_pop():
+        moms_resp = self.moms_resp
+        if not moms_resp._visible:
             return True
-        response = self.moms_resp.front()
+        req_id, _addr, data, _port = moms_resp.front_response()
         if self._ledger is not None:
             # Peek-time check: a corrupted or misrouted ID is flagged
             # here, before it indexes the thread-state memory below.
-            self._ledger.verify(("pe", self.pe_index), response.req_id)
+            self._ledger.verify(("pe", self.pe_index), req_id)
         if self.spec.weighted:
-            dst_off, weight = self._id_state[response.req_id]
+            dst_off, weight = self._id_state[req_id]
         else:
-            dst_off, weight = response.req_id, 0
+            dst_off, weight = req_id, 0
         if self._raw_hazard(dst_off):
             self.stats.raw_stalls += 1
             return False  # gather slot wasted on the stall
-        self.moms_resp.pop()
+        # unpack copies the word out, so the peeked data slice is done
+        # with before drop() consumes (and recycles) the response.
+        word = _U32.unpack_from(data)[0]
+        moms_resp.drop()
         self._outstanding_moms -= 1
         if self._ledger is not None:
-            self._ledger.retire(("pe", self.pe_index), response.req_id)
+            self._ledger.retire(("pe", self.pe_index), req_id)
         if self._tele is not None:
-            self._tele.moms_retire(self.pe_index, response.req_id,
-                                   self._engine.now)
+            self._tele.moms_retire(self.pe_index, req_id, self._engine.now)
         if self.spec.weighted:
-            del self._id_state[response.req_id]
-            self._free_ids.append(response.req_id)
-        word = _U32.unpack_from(response.data)[0]
+            del self._id_state[req_id]
+            self._free_ids.append(req_id)
         self._enter_pipeline(self._engine, dst_off, self.spec.decode(word),
                              weight)
         return False
@@ -591,8 +644,10 @@ class ProcessingElement(Component):
             self.stats.local_reads += 1
             return
         # Remote source: suspend the edge into the MOMS.
-        if not self.moms_req.can_push():
+        moms_req = self.moms_req
+        if moms_req._occ + moms_req._staged_n >= moms_req.capacity:
             self.stats.moms_request_stalls += 1
+            moms_req.request_space_wake(self)
             return
         if self.spec.weighted:
             if not self._free_ids:
@@ -604,10 +659,7 @@ class ProcessingElement(Component):
             req_id = dst_off
         self._edge_queue.popleft()
         addr = self.layout.v_in_addr + src_node * 4
-        self.moms_req.push(
-            MomsRequest(addr=addr, size=4, req_id=req_id,
-                        port=self.pe_index)
-        )
+        moms_req.push_request(addr, 4, req_id, self.pe_index)
         if self._ledger is not None:
             self._ledger.issue(("pe", self.pe_index), req_id)
         if self._tele is not None:
@@ -646,11 +698,15 @@ class ProcessingElement(Component):
         self._wb_ready_budget = 0
 
     def _tick_writeback(self, engine):
-        while self.dma_resp.can_pop():
-            ack = self.dma_resp.pop()
-            if not ack.is_write_ack:
-                raise AssertionError("unexpected read beat in writeback")
-            self._wb_acks_received += 1
+        acks = self.dma_resp.pop_all()
+        if acks:
+            pool = MemResponse._pool
+            for ack in acks:
+                if not ack.is_write_ack:
+                    raise AssertionError("unexpected read beat in writeback")
+                if pool is not None:
+                    pool.append(ack)
+            self._wb_acks_received += len(acks)
         total_bytes = self._n_local * 4
         if self._wb_sent < total_bytes:
             engine.mark_active()  # BRAM reads advance without channel traffic

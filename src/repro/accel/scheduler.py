@@ -36,10 +36,10 @@ class Scheduler(Component):
         self.job_channel = job_channel
         self.done_channel = done_channel
         self.part = partitioning
-        # Wake on PE completions and freed job slots; while jobs are
-        # queued and the slot is free, tick() re-arms itself below.
+        # Wake on PE completions; a full job slot arms a one-shot space
+        # wake at the stall site, and while jobs are queued and the
+        # slot is free, tick() re-arms itself below.
         done_channel.subscribe_data(self)
-        job_channel.subscribe_space(self)
         self._pending = []
         self._outstanding = 0
         self.iteration = 0
@@ -76,22 +76,28 @@ class Scheduler(Component):
         return len(self._pending)
 
     def tick(self, engine):
-        if self._pending and self.job_channel.can_push():
-            self.job_channel.push(self._pending.pop(0))
-            self._outstanding += 1
-            self.jobs_issued += 1
-            if self._pending:
-                engine.wake(self)
-        while self.done_channel.can_pop():
-            d, updated = self.done_channel.pop()
-            self._outstanding -= 1
-            self.jobs_completed += 1
-            if updated:
-                self.any_update = True
-                lo, hi = self.part.dst_interval_bounds(d)
-                first = lo // self.part.n_src
-                last = (hi - 1) // self.part.n_src
-                self._next_active[first:last + 1] = True
+        pending = self._pending
+        if pending:
+            job_channel = self.job_channel
+            if job_channel._occ + job_channel._staged_n < job_channel.capacity:
+                job_channel.push(pending.pop(0))
+                self._outstanding += 1
+                self.jobs_issued += 1
+                if pending:
+                    engine.wake(self)
+            else:
+                job_channel.request_space_wake(self)
+        completions = self.done_channel.pop_all()
+        if completions:
+            self._outstanding -= len(completions)
+            self.jobs_completed += len(completions)
+            for d, updated in completions:
+                if updated:
+                    self.any_update = True
+                    lo, hi = self.part.dst_interval_bounds(d)
+                    first = lo // self.part.n_src
+                    last = (hi - 1) // self.part.n_src
+                    self._next_active[first:last + 1] = True
 
     def iteration_done(self):
         return not self._pending and self._outstanding == 0 \

@@ -15,12 +15,19 @@ response port full) stalls the head request; nothing is dropped.
 
 Response path: on line return, free the MSHR, fill the cache (if any),
 then serve the pending subentries one per cycle.
+
+The bank moves tokens exclusively through the channel *fields API*
+(``front_request`` / ``push_response`` / ``pop_line``), so it works
+identically over plain object channels (pooled tokens) and the
+struct-of-arrays PE ports of the private and two-level hierarchies.
+All backpressure stalls arm one-shot space wakes on the specific full
+channel instead of subscribing statically, so a draining response port
+no longer wakes a bank with nothing to send.
 """
 
 from dataclasses import dataclass, field
 
 from repro.core.cache import CacheArray
-from repro.core.messages import MomsResponse
 from repro.core.mshr import AssociativeMshrFile, CuckooMshrFile
 from repro.core.subentry import SubentryStore
 from repro.sim import Component
@@ -112,16 +119,13 @@ class MomsBank(Component):
         self.downstream = downstream
         self.store = store
         self.name = name
-        # Wake on new requests, returned lines, freed response slots
-        # (drain and hit paths stall on resp_out), and freed downstream
-        # request slots (primary misses stall on a full miss port).
-        # MSHR/subentry stalls need no subscription: those structures
-        # only free during this bank's own drains, which line_in wakes.
+        # Wake on new requests and returned lines.  Backpressure wakes
+        # (response port, downstream request port) are one-shots armed
+        # at the stall site; MSHR/subentry stalls need no arming at
+        # all: those structures only free during this bank's own
+        # drains, which line_in wakes.
         req_in.subscribe_data(self)
         line_in.subscribe_data(self)
-        resp_out.subscribe_space(self)
-        for channel in getattr(downstream, "wake_channels", ()):
-            channel.subscribe_space(self)
         self.mshrs = params.build_mshr_file(seed=seed)
         # Cuckoo inserts mutate PRNG/table state even when they fail;
         # associative inserts are pure functions of occupancy.
@@ -144,8 +148,8 @@ class MomsBank(Component):
     # -- simulation -------------------------------------------------------
 
     def tick(self, engine):
-        # Hot path: direct _ready checks avoid method-call overhead on
-        # the (frequent) idle cycles.
+        # Hot path: direct occupancy-int checks avoid method-call
+        # overhead on the (frequent) idle cycles.
         if self._tele is not None:
             self._tele.bank_before_tick(self, engine.now)
         if self._drain_items is not None:
@@ -153,21 +157,29 @@ class MomsBank(Component):
             self.stats.busy_cycles += 1
             if self._drain_items is not None:
                 # Mid-drain: keep stepping while the port has room; a
-                # full port hands off to the resp_out space wake.
+                # port that is full (whether this cycle's push filled
+                # it or _drain_one stalled on it) hands the restart to
+                # a one-shot space wake.
                 if self.resp_out.can_push():
                     engine.wake(self)
-            elif self.line_in._ready or self.req_in._ready:
+                else:
+                    self.resp_out.request_space_wake(self)
+            elif self.line_in._visible or self.req_in._visible:
                 # Drain finished with backlog that arrived (and fired
                 # its one-shot wakes) while the pipeline was busy.
                 engine.wake(self)
             return
-        if self.line_in._ready:
-            self._begin_drain(self.line_in.pop())
+        if self.line_in._visible:
+            self._begin_drain(*self.line_in.pop_line())
             self.stats.busy_cycles += 1
             if self.resp_out.can_push():
                 engine.wake(self)
+            else:
+                # Fresh drain into a full response port: the port's
+                # next space commit must restart the drain.
+                self.resp_out.request_space_wake(self)
             return
-        if self.req_in._ready:
+        if self.req_in._visible:
             outcome = self._handle_request()
             if outcome is _PROGRESS:
                 self.stats.busy_cycles += 1
@@ -181,9 +193,9 @@ class MomsBank(Component):
                 # results.
                 engine.wake(self)
             # else _SLEEP: the stall touched no architectural state, and
-            # every event that can unblock it fires a subscribed wake --
-            # line_in (frees MSHRs, subentry rows, and fills the cache),
-            # resp_out space, and downstream request-port space.
+            # every event that can unblock it fires a wake -- line_in
+            # data (frees MSHRs, subentry rows, and fills the cache) or
+            # the one-shot armed on the full channel at the stall site.
 
     def is_idle(self):
         return (
@@ -200,8 +212,8 @@ class MomsBank(Component):
 
     # -- response path ----------------------------------------------------
 
-    def _begin_drain(self, line):
-        line_addr = line.addr // self.params.line_bytes
+    def _begin_drain(self, addr, data):
+        line_addr = addr // self.params.line_bytes
         if self._ledger is not None:
             # The returned line must match an issued in-flight miss;
             # verified before mshrs.remove can KeyError on corruption.
@@ -216,13 +228,14 @@ class MomsBank(Component):
             item for row in entry.subentry_head for item in row
         ]
         self._drain_index = 0
-        self._drain_data = line.data
-        self._drain_base = line.addr
+        self._drain_data = data
+        self._drain_base = addr
 
     def _drain_one(self):
         resp_out = self.resp_out
         if not resp_out.can_push():
             self.stats.stall_response_port += 1
+            resp_out.request_space_wake(self)
             return
         items = self._drain_items
         index = self._drain_index
@@ -231,13 +244,10 @@ class MomsBank(Component):
             # Mutation smoke: deterministically corrupt one response ID
             # so tests can prove the PE-side ledger catches it.
             req_id = self._fault.corrupt_moms_token(req_id)
-        resp_out.push(
-            MomsResponse(
-                req_id=req_id,
-                addr=self._drain_base + offset,
-                data=self._drain_data[offset:offset + size],
-                port=port,
-            )
+        data = self._drain_data
+        resp_out.push_response(
+            req_id, self._drain_base + offset, data[offset:offset + size],
+            port,
         )
         self.stats.responses += 1
         self._drain_index = index + 1
@@ -255,36 +265,35 @@ class MomsBank(Component):
         ``_SLEEP`` stalls happened before any stateful structure was
         touched (response port full, subentry row shortage, downstream
         full, associative MSHR file full): retrying them later gives the
-        same answer, so the bank may sleep until a subscribed wake.
-        ``_RETRY`` stalls ran a cuckoo insert first and must be retried
-        every cycle to keep the victim-way generator sequence identical
-        to the all-tick engine.
+        same answer, so the bank may sleep until the stalled channel's
+        one-shot wake (or a line return) fires.  ``_RETRY`` stalls ran
+        a cuckoo insert first and must be retried every cycle to keep
+        the victim-way generator sequence identical to the all-tick
+        engine.
         """
         stats = self.stats
-        request = self.req_in.front()
+        req_in = self.req_in
+        addr, size, req_id, port = req_in.front_request()
         line_bytes = self.params.line_bytes
-        line_addr = request.addr // line_bytes
-        offset = request.addr - line_addr * line_bytes
+        line_addr = addr // line_bytes
+        offset = addr - line_addr * line_bytes
 
         if self.cache.probe(line_addr):
-            if not self.resp_out.can_push():
+            resp_out = self.resp_out
+            if not resp_out.can_push():
                 stats.stall_response_port += 1
+                resp_out.request_space_wake(self)
                 return _SLEEP
-            self.req_in.pop()
-            self.resp_out.push(
-                MomsResponse(
-                    req_id=request.req_id,
-                    addr=request.addr,
-                    data=self.store.read_bytes(request.addr, request.size),
-                    port=request.port,
-                )
+            req_in.drop()
+            resp_out.push_response(
+                req_id, addr, self.store.read_bytes(addr, size), port
             )
             stats.requests += 1
             stats.cache_hits += 1
             stats.responses += 1
             return _PROGRESS
 
-        subentry = (request.req_id, request.port, offset, request.size)
+        subentry = (req_id, port, offset, size)
         entry = self.mshrs.lookup(line_addr)
         if entry is not None:
             limit = self.params.subentries_per_mshr
@@ -295,15 +304,17 @@ class MomsBank(Component):
                 stats.stall_subentry += 1
                 return _SLEEP
             entry.subentry_count += 1
-            self.req_in.pop()
+            req_in.drop()
             stats.requests += 1
             stats.secondary_misses += 1
             return _PROGRESS
 
         # Primary miss: all three structures must have room before any
         # side effect happens, so a stalled request retries cleanly.
-        if not self.downstream.can_accept(line_addr):
+        downstream = self.downstream
+        if not downstream.can_accept(line_addr):
             stats.stall_downstream += 1
+            downstream.request_wake(line_addr, self)
             return _SLEEP
         new_entry = self.mshrs.insert(line_addr)
         if new_entry is None:
@@ -316,12 +327,12 @@ class MomsBank(Component):
             return _RETRY if self._stateful_mshrs else _SLEEP
         new_entry.subentry_head = chain
         new_entry.subentry_count = 1
-        self.downstream.issue(line_addr)
+        downstream.issue(line_addr)
         if self._ledger is not None:
             self._ledger.issue(("bank", self.name), line_addr)
         if self._tele is not None:
             self._tele.miss_issue(self.name, line_addr, self._engine.now)
-        self.req_in.pop()
+        req_in.drop()
         stats.requests += 1
         stats.primary_misses += 1
         return _PROGRESS

@@ -20,7 +20,6 @@ the latency the paper engineers around.
 from dataclasses import dataclass
 
 from repro.core.bank import BankParams, MomsBank
-from repro.core.messages import MomsRequest
 from repro.fabric.arbiter import RoundRobinArbiter
 from repro.fabric.crossbar import Crossbar
 from repro.fabric.crossing import cross_link
@@ -31,7 +30,7 @@ from repro.fabric.design import (
     MOMS_TWO_LEVEL,
 )
 from repro.mem.dram import LINE_BYTES, MemRequest
-from repro.sim import Channel
+from repro.sim import Channel, SoaChannel
 
 
 class DramDownstream:
@@ -52,16 +51,29 @@ class DramDownstream:
         channel = self.mem.channel_of(line_addr * LINE_BYTES)
         return self.request_ports[channel].can_push()
 
-    def issue(self, line_addr):
+    def request_wake(self, line_addr, component):
+        """One-shot wake when the port a stalled issue needs frees up."""
         channel = self.mem.channel_of(line_addr * LINE_BYTES)
-        self.request_ports[channel].push(
-            MemRequest(
-                addr=line_addr * LINE_BYTES,
-                nbytes=LINE_BYTES,
-                kind="single",
-                respond_to=self.respond_to,
-            )
-        )
+        self.request_ports[channel].request_space_wake(component)
+
+    def issue(self, line_addr):
+        addr = line_addr * LINE_BYTES
+        channel = self.mem.channel_of(addr)
+        pool = MemRequest._pool
+        if pool:
+            request = pool.pop()
+            request.addr = addr
+            request.nbytes = LINE_BYTES
+            request.kind = "single"
+            request.is_write = False
+            request.tag = None
+            request.respond_to = self.respond_to
+            request.data = None
+        else:
+            MemRequest._fresh += 1
+            request = MemRequest(addr=addr, nbytes=LINE_BYTES, kind="single",
+                                 respond_to=self.respond_to)
+        self.request_ports[channel].push(request)
         self.lines_requested += 1
 
 
@@ -81,14 +93,13 @@ class MomsDownstream:
     def can_accept(self, line_addr):
         return self.req_out.can_push()
 
+    def request_wake(self, line_addr, component):
+        """One-shot wake when the shared-level request port frees up."""
+        self.req_out.request_space_wake(component)
+
     def issue(self, line_addr):
-        self.req_out.push(
-            MomsRequest(
-                addr=line_addr * LINE_BYTES,
-                size=LINE_BYTES,
-                req_id=None,
-                port=self.port,
-            )
+        self.req_out.push_request(
+            line_addr * LINE_BYTES, LINE_BYTES, None, self.port
         )
         self.lines_requested += 1
 
@@ -251,12 +262,24 @@ class MemoryHierarchy:
         if self.floorplan is not None:
             self._pe_dies = self.floorplan.assign_pes(design.n_pes)
         depth = self.queue_depth
+        # Private and two-level organizations connect these ports
+        # straight to a bank, so both ends speak the fields API and the
+        # tokens can live in struct-of-arrays columns.  The shared
+        # organization moves them opaquely through crossings, crossbars
+        # and forwarding arbiters and keeps plain object channels.
+        soa = design.organization != MOMS_SHARED
         self.pe_req_ports = [
-            engine.add_channel(Channel(depth, name=f"pe{pe}.req"))
+            engine.add_channel(
+                SoaChannel(depth, name=f"pe{pe}.req", kind="request")
+                if soa else Channel(depth, name=f"pe{pe}.req")
+            )
             for pe in range(design.n_pes)
         ]
         self.pe_resp_ports = [
-            engine.add_channel(Channel(depth * 2, name=f"pe{pe}.resp"))
+            engine.add_channel(
+                SoaChannel(depth * 2, name=f"pe{pe}.resp", kind="response")
+                if soa else Channel(depth * 2, name=f"pe{pe}.resp")
+            )
             for pe in range(design.n_pes)
         ]
 

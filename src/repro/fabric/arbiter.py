@@ -21,16 +21,16 @@ class RoundRobinArbiter(Component):
         self.name = name
         self._next = 0
         self.grants = [0] * len(self.inputs)
-        # Wake on new input tokens or freed output space.  A granted
-        # transfer dirties both channels, so their commits re-arm the
-        # next tick while traffic keeps flowing.
+        # Wake on new input tokens.  Output space is handled by a
+        # one-shot wake armed only when a grant actually blocked on a
+        # full output, so commits of a draining output stop waking an
+        # arbiter with nothing to send.
         for channel in self.inputs:
             channel.subscribe_data(self)
-        output.subscribe_space(self)
 
     def tick(self, engine):
-        # Hot path: direct _ready checks and inline capacity arithmetic
-        # avoid per-input method calls.
+        # Hot path: direct occupancy-int checks and inline capacity
+        # arithmetic avoid per-input method calls.
         inputs = self.inputs
         output = self.output
         n = len(inputs)
@@ -39,13 +39,21 @@ class RoundRobinArbiter(Component):
             if index >= n:
                 index -= n
             channel = inputs[index]
-            if channel._ready:
-                if output._occupancy_at_cycle_start \
-                        + len(output._staged) >= output.capacity:
+            if channel._visible:
+                if output._occ + output._staged_n >= output.capacity:
+                    output.request_space_wake(self)
                     return
                 output.push(channel.pop())
                 self.grants[index] += 1
                 index += 1
                 self._next = index if index < n else 0
+                # The popped input re-arms itself through its commit
+                # only while it still holds tokens; other inputs were
+                # not touched this cycle and commit nothing, so their
+                # waiting tokens need an explicit next-cycle wake.
+                for channel in inputs:
+                    if channel._visible:
+                        engine.wake(self)
+                        return
                 return
             index += 1

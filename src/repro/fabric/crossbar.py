@@ -30,13 +30,14 @@ class Crossbar(Component):
         self._pointers = [0] * len(self.outputs)
         self.transfers = 0
         self.conflict_cycles = 0
-        # Wake on any new input token or any freed output port; every
-        # grant dirties the winning input and its output, whose commits
-        # keep the crossbar armed while tokens remain.
+        # Wake on any new input token.  Full outputs arm one-shot space
+        # wakes at the moment a grant blocks on them; losers of a
+        # round-robin conflict re-arm via an explicit self-wake.  This
+        # replaces static space subscriptions on every output, which
+        # woke the crossbar on every commit of every draining bank port
+        # whether or not any input had a token to route.
         for channel in self.inputs:
             channel.subscribe_data(self)
-        for channel in self.outputs:
-            channel.subscribe_space(self)
 
     def tick(self, engine):
         # Each input's head token has exactly one destination, so one
@@ -45,18 +46,19 @@ class Crossbar(Component):
         n_in = len(self.inputs)
         buckets = None
         for in_index, channel in enumerate(self.inputs):
-            if channel._ready:  # hot path: avoid can_pop() call overhead
-                out_index = self.route(channel._ready[0])
+            if channel._visible:  # hot path: avoid can_pop() call overhead
+                out_index = self.route(channel._ring[channel._head])
                 if buckets is None:
                     buckets = {}
                 buckets.setdefault(out_index, []).append(in_index)
         if buckets is None:
             return
         pointers = self._pointers
+        rearm = False
         for out_index, contenders in buckets.items():
             output = self.outputs[out_index]
-            if output._occupancy_at_cycle_start \
-                    + len(output._staged) >= output.capacity:
+            if output._occ + output._staged_n >= output.capacity:
+                output.request_space_wake(self)
                 continue
             if len(contenders) == 1:
                 winner = contenders[0]
@@ -64,6 +66,12 @@ class Crossbar(Component):
                 pointer = pointers[out_index]
                 winner = min(contenders, key=lambda i: (i - pointer) % n_in)
                 self.conflict_cycles += 1
+                # The losers' head tokens can move next cycle (this
+                # output just proved it has space and drains one per
+                # cycle); nothing else will commit on their behalf.
+                rearm = True
             output.push(self.inputs[winner].pop())
             pointers[out_index] = winner + 1 if winner + 1 < n_in else 0
             self.transfers += 1
+        if rearm:
+            engine.wake(self)

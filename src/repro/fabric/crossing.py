@@ -41,11 +41,12 @@ class DieCrossing(Component):
         )
         self.total_crossed = 0
         engine.add_component(self)
-        # Wake on new tokens to cross, on register stages maturing, and
-        # on freed space in the receive queue (which also frees credits).
+        # Wake on new tokens to cross and on register stages maturing.
+        # A full receive queue (which also exhausts credits) arms a
+        # one-shot space wake only when this crossing actually blocked
+        # on it, so draining queues stop waking idle crossings.
         inp.subscribe_data(self)
         self._line.subscribe_data(self)
-        out.subscribe_space(self)
 
     def _credits_available(self):
         # Tokens in the registers plus tokens already waiting in the
@@ -58,18 +59,32 @@ class DieCrossing(Component):
         line = self._line
         flight = line._in_flight
         out = self.out
-        if flight and flight[0][0] <= engine.now \
-                and out._occupancy_at_cycle_start + len(out._staged) \
-                < out.capacity:
-            out.push(flight.popleft()[1])
-            self.total_crossed += 1
-        if self.inp._ready \
-                and len(flight) + len(out._ready) + len(out._staged) \
-                < out.capacity:
-            line.push(self.inp.pop())
+        if flight and flight[0][0] <= engine.now:
+            if out._occ + out._staged_n < out.capacity:
+                out.push(flight.popleft()[1])
+                self.total_crossed += 1
+                if flight and flight[0][0] <= engine.now:
+                    # The next register token already matured (its wake
+                    # timer fired while the queue was full); deliver it
+                    # next cycle instead of waiting for new traffic.
+                    engine.wake(self)
+            else:
+                out.request_space_wake(self)
+        if self.inp._visible:
+            if len(flight) + out._visible + out._staged_n < out.capacity:
+                line.push(self.inp.pop())
+            else:
+                # Credits exhausted: they free when the receive queue
+                # drains (space commit) or when a register delivers
+                # (this component's own maturity timer, already set).
+                out.request_space_wake(self)
 
     def is_idle(self):
         return len(self._line) == 0
+
+    def next_event_time(self):
+        """Cycle at which the head register token matures, or None."""
+        return self._line.next_event_time()
 
 
 def cross_link(engine, capacity, hops, name="link"):

@@ -1,0 +1,165 @@
+"""Disk memoization for graph generation and partitioning.
+
+Sweeps evaluate the *same* benchmark graph under many architecture
+points, and :func:`repro.experiments.common.run_points` workers are
+separate processes -- each one regenerates (and re-partitions) an
+identical graph from scratch.  This module memoizes both steps to
+disk, keyed by a content hash of everything that determines the
+result, so the first process pays the build cost and every later
+worker loads preprocessed arrays instead.
+
+Opt-in by environment variable::
+
+    REPRO_GRAPH_CACHE=/path/to/dir   # enable, store .npz files there
+    REPRO_GRAPH_CACHE=               # (unset/empty) disabled
+    REPRO_GRAPH_CACHE=0              # explicitly disabled
+
+Disabled is the default: generation is deterministic either way, the
+cache only trades disk for CPU.  Keys hash the full recipe (spec repr,
+seed offset, shrink, schema version), so a stale directory can never
+return the wrong graph -- at worst a changed recipe misses and
+regenerates.  Writes go through ``os.replace`` of a temp file, so
+concurrent sweep workers racing on the same key are safe: both compute
+the same bytes and the rename is atomic.
+"""
+
+import hashlib
+import os
+import tempfile
+
+import numpy as np
+
+# Bump when the stored array layout changes; old entries then miss.
+_SCHEMA = 1
+
+
+def cache_dir():
+    """The cache directory, or None when caching is disabled."""
+    path = os.environ.get("REPRO_GRAPH_CACHE", "").strip()
+    if not path or path.lower() in ("0", "off", "false", "no"):
+        return None
+    return path
+
+
+def _key(kind, recipe):
+    digest = hashlib.sha256(
+        f"v{_SCHEMA}|{kind}|{recipe}".encode("utf-8")
+    ).hexdigest()[:32]
+    return f"{kind}-{digest}.npz"
+
+
+def _load(path):
+    try:
+        with np.load(path, allow_pickle=False) as bundle:
+            return {name: bundle[name] for name in bundle.files}
+    except (OSError, ValueError, KeyError):
+        # Truncated/corrupt entry (e.g. a killed writer on a filesystem
+        # without atomic rename): treat as a miss and overwrite.
+        return None
+
+
+def _store(directory, filename, arrays):
+    os.makedirs(directory, exist_ok=True)
+    handle, temp_path = tempfile.mkstemp(
+        dir=directory, prefix=filename, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(handle, "wb") as fh:
+            np.savez(fh, **arrays)
+        os.replace(temp_path, os.path.join(directory, filename))
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+
+
+# -- graph generation --------------------------------------------------------
+
+
+def graph_fingerprint(spec, seed_offset, shrink):
+    """Stable identity of one generated benchmark graph.
+
+    ``BenchmarkSpec`` is a frozen dataclass, so its repr covers every
+    field that affects generation; dataclass reprs are deterministic
+    across processes (unlike salted ``hash()``).
+    """
+    return f"{spec!r}|seed_offset={seed_offset}|shrink={shrink}"
+
+
+def load_cached_graph(spec, seed_offset, shrink):
+    """Return the cached Graph for this recipe, or None on a miss."""
+    directory = cache_dir()
+    if directory is None:
+        return None
+    filename = _key("graph", graph_fingerprint(spec, seed_offset, shrink))
+    arrays = _load(os.path.join(directory, filename))
+    if arrays is None or "src" not in arrays or "dst" not in arrays:
+        return None
+    from repro.graph.coo import Graph
+
+    weights = arrays.get("weights")
+    if weights is not None and weights.size == 0:
+        weights = None
+    return Graph(
+        int(arrays["n_nodes"]),
+        arrays["src"],
+        arrays["dst"],
+        weights=weights,
+        name=spec.key,
+    )
+
+
+def store_cached_graph(spec, seed_offset, shrink, graph):
+    """Persist a freshly generated graph; no-op when disabled."""
+    directory = cache_dir()
+    if directory is None:
+        return
+    filename = _key("graph", graph_fingerprint(spec, seed_offset, shrink))
+    arrays = {
+        "n_nodes": np.int64(graph.n_nodes),
+        "src": graph.src,
+        "dst": graph.dst,
+        "weights": (graph.weights if graph.weighted
+                    else np.empty(0, dtype=np.int64)),
+    }
+    _store(directory, filename, arrays)
+
+
+# -- partitioning ------------------------------------------------------------
+
+
+def partition_fingerprint(graph, n_src, n_dst):
+    """Content hash of one partitioning job.
+
+    Hashes the actual edge arrays (not the graph name): reordering
+    passes (hashing, DBG) relabel the same named graph into different
+    edge lists, and each labeling needs its own partitioning.
+    """
+    digest = hashlib.sha256()
+    digest.update(np.int64(graph.n_nodes).tobytes())
+    digest.update(np.ascontiguousarray(graph.src).tobytes())
+    digest.update(np.ascontiguousarray(graph.dst).tobytes())
+    return f"{digest.hexdigest()}|n_src={n_src}|n_dst={n_dst}"
+
+
+def load_cached_partition(graph, n_src, n_dst):
+    """Return cached (order, offsets) arrays, or None on a miss."""
+    directory = cache_dir()
+    if directory is None:
+        return None
+    filename = _key("part", partition_fingerprint(graph, n_src, n_dst))
+    arrays = _load(os.path.join(directory, filename))
+    if arrays is None or "order" not in arrays or "offsets" not in arrays:
+        return None
+    return arrays["order"], arrays["offsets"]
+
+
+def store_cached_partition(graph, n_src, n_dst, order, offsets):
+    """Persist a freshly computed edge grouping; no-op when disabled."""
+    directory = cache_dir()
+    if directory is None:
+        return
+    filename = _key("part", partition_fingerprint(graph, n_src, n_dst))
+    _store(directory, filename, {"order": order, "offsets": offsets})

@@ -151,10 +151,20 @@ def load_benchmark(key, seed_offset=0, shrink=1):
     runs with REPRO_FULL_SUITE=1).
     """
     cache_key = (key, seed_offset, shrink)
-    if cache_key not in _cache:
-        _cache[cache_key] = BENCHMARKS[key].generate(seed_offset,
-                                                     shrink=shrink)
-    return _cache[cache_key]
+    graph = _cache.get(cache_key)
+    if graph is None:
+        # Second-level disk cache (opt-in via REPRO_GRAPH_CACHE): sweep
+        # worker processes share generated graphs instead of each
+        # regenerating the same arrays (see repro.graph.cache).
+        from repro.graph.cache import load_cached_graph, store_cached_graph
+
+        spec = BENCHMARKS[key]
+        graph = load_cached_graph(spec, seed_offset, shrink)
+        if graph is None:
+            graph = spec.generate(seed_offset, shrink=shrink)
+            store_cached_graph(spec, seed_offset, shrink, graph)
+        _cache[cache_key] = graph
+    return graph
 
 
 def suite(keys=None, shrink=1):

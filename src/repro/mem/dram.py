@@ -94,6 +94,24 @@ class MemResponse:
     issued_at: int = -1
 
 
+def _acquire_response(tag, addr, beat, last, is_write_ack, issued_at):
+    """Pooled MemResponse acquisition (see repro.core.messages)."""
+    pool = MemResponse._pool
+    if pool:
+        response = pool.pop()
+        response.tag = tag
+        response.addr = addr
+        response.data = None
+        response.beat = beat
+        response.last = last
+        response.is_write_ack = is_write_ack
+        response.issued_at = issued_at
+        return response
+    MemResponse._fresh += 1
+    return MemResponse(tag=tag, addr=addr, beat=beat, last=last,
+                       is_write_ack=is_write_ack, issued_at=issued_at)
+
+
 @dataclass
 class DramStats:
     bytes_read: int = 0
@@ -238,12 +256,17 @@ class DramChannel(Component):
         store = self.store
         ledger = self._ledger
         tele = self._tele
+        response_pool = MemResponse._pool
         while delivered < limit and scheduled and scheduled[0][0] <= now:
             _, response, respond_to = scheduled[0]
             if respond_to is None:
+                # Fire-and-forget request: the beat evaporates here, so
+                # this is its release point (data was never attached).
                 scheduled.popleft()
                 if ledger is not None:
                     ledger.retire(("dram", self.name), response.addr)
+                if response_pool is not None:
+                    response_pool.append(response)
                 delivered += 1
                 continue
             space = respond_to.free_slots()
@@ -274,56 +297,65 @@ class DramChannel(Component):
         return delivered
 
     def _accept(self, engine):
-        if not self.req.can_pop():
+        req = self.req
+        if not req._visible:
             return
-        request = self.req.pop()
-        start = max(engine.now, self._next_free)
+        request = req.pop()
+        timings = self.timings
+        stats = self.stats
+        now = engine.now
+        start = max(now, self._next_free)
         beats = request.beats
+        tag = request.tag
+        addr = request.addr
+        respond_to = request.respond_to
         extra_latency = 0 if self._fault is None \
-            else self._fault.dram_extra_latency(engine.now)
+            else self._fault.dram_extra_latency(now)
         if request.is_write:
-            self.store.write_bytes(request.addr, request.data, request.nbytes)
-            service = beats * self.timings.cycles_per_beat_burst
+            self.store.write_bytes(addr, request.data, request.nbytes)
+            service = beats * timings.cycles_per_beat_burst
             self._next_free = start + service
-            self.stats.bytes_written += request.nbytes
-            self.stats.writes += 1
-            self.stats.lines_written += beats
-            self.stats.busy_cycles += service
-            if request.respond_to is not None:
-                ack = MemResponse(
-                    tag=request.tag,
-                    addr=request.addr,
-                    is_write_ack=True,
-                    issued_at=engine.now,
-                )
+            stats.bytes_written += request.nbytes
+            stats.writes += 1
+            stats.lines_written += beats
+            stats.busy_cycles += service
+            if respond_to is not None:
+                ack = _acquire_response(tag, addr, 0, True, True, now)
                 self._schedule(
-                    start + service + self.timings.latency + extra_latency,
-                    ack, request.respond_to)
-            return
-        cpb = self.timings.cycles_per_beat(request.kind)
-        for beat in range(beats):
-            response = MemResponse(
-                tag=request.tag,
-                addr=request.addr + beat * LINE_BYTES,
-                beat=beat,
-                last=beat == beats - 1,
-                issued_at=engine.now,
-            )
-            ready = start + (beat + 1) * cpb + self.timings.latency \
-                + extra_latency
-            self._schedule(ready, response, request.respond_to)
-        self._next_free = start + beats * cpb
-        self.stats.bytes_read += beats * LINE_BYTES
-        self.stats.busy_cycles += beats * cpb
-        if request.kind == "single":
-            self.stats.reads_single += 1
-            self.stats.lines_single += beats
+                    start + service + timings.latency + extra_latency,
+                    ack, respond_to)
         else:
-            self.stats.reads_burst += 1
-            self.stats.lines_burst += beats
-        queue_depth = len(self.req) + len(self._scheduled)
-        if queue_depth > self.stats.peak_queue:
-            self.stats.peak_queue = queue_depth
+            cpb = timings.cycles_per_beat(request.kind)
+            ready_base = start + timings.latency + extra_latency
+            last = beats - 1
+            for beat in range(beats):
+                response = _acquire_response(
+                    tag, addr + beat * LINE_BYTES, beat, beat == last,
+                    False, now,
+                )
+                self._schedule(ready_base + (beat + 1) * cpb, response,
+                               respond_to)
+            self._next_free = start + beats * cpb
+            stats.bytes_read += beats * LINE_BYTES
+            stats.busy_cycles += beats * cpb
+            if request.kind == "single":
+                stats.reads_single += 1
+                stats.lines_single += beats
+            else:
+                stats.reads_burst += 1
+                stats.lines_burst += beats
+            queue_depth = req._visible + len(self._scheduled)
+            if queue_depth > stats.peak_queue:
+                stats.peak_queue = queue_depth
+        # The channel is a request's single consumer; recycle it (the
+        # write payload reference is dropped so pooled tokens never pin
+        # a node-value array).
+        pool = MemRequest._pool
+        if pool is not None:
+            request.data = None
+            request.tag = None
+            request.respond_to = None
+            pool.append(request)
 
     def _schedule(self, ready_time, response, respond_to):
         if self._scheduled and ready_time < self._scheduled[-1][0]:
@@ -345,3 +377,12 @@ class DramChannel(Component):
 
     def is_idle(self):
         return not self._scheduled and not self.req.pending
+
+
+# The DRAM tokens circulate through the same freelist machinery as the
+# MOMS tokens.  Imported at module bottom: repro.core's package init
+# pulls in the hierarchy, which imports this module's classes.
+from repro.core.messages import register_pool  # noqa: E402
+
+register_pool(MemRequest)
+register_pool(MemResponse)

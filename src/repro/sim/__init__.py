@@ -9,7 +9,7 @@ and drives the engine's idle fast-forward so cycles in which every
 component is stalled on a pending latency are skipped in O(1).
 """
 
-from repro.sim.channel import Channel, DelayLine
+from repro.sim.channel import Channel, DelayLine, SoaChannel
 from repro.sim.engine import (
     Component,
     CycleLimitError,
@@ -27,5 +27,6 @@ __all__ = [
     "DelayLine",
     "Engine",
     "LegacyEngine",
+    "SoaChannel",
     "make_engine",
 ]

@@ -219,7 +219,9 @@ class Engine:
 
     def _step(self):
         self._active = False
-        self._merge_due_timers()
+        timers = self._timers
+        if timers and timers[0][0] <= self.now:
+            self._merge_due_timers()
         wake = self._wake_next
         self._wake_next = {}
         if self._always:
@@ -227,7 +229,10 @@ class Engine:
             # ticked every cycle, so everything is (seed semantics).
             run_list = self._components
         elif wake:
-            run_list = [wake[order] for order in sorted(wake)]
+            if len(wake) == 1:
+                run_list = wake.values()
+            else:
+                run_list = [wake[order] for order in sorted(wake)]
         else:
             run_list = ()
         self.component_ticks += len(run_list)

@@ -1,0 +1,133 @@
+"""Disk graph/partition cache (repro.graph.cache)."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.graph import cache as graph_cache
+from repro.graph.datasets import BENCHMARKS, load_benchmark
+from repro.graph.generators import web_graph
+from repro.graph.partition import partition_edges
+
+
+@pytest.fixture
+def cache_env(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_GRAPH_CACHE", str(tmp_path))
+    return tmp_path
+
+
+def _graphs_equal(a, b):
+    return (
+        a.n_nodes == b.n_nodes
+        and np.array_equal(a.src, b.src)
+        and np.array_equal(a.dst, b.dst)
+        and ((a.weights is None and b.weights is None)
+             or np.array_equal(a.weights, b.weights))
+    )
+
+
+class TestCacheGate:
+    def test_disabled_by_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_GRAPH_CACHE", raising=False)
+        assert graph_cache.cache_dir() is None
+
+    @pytest.mark.parametrize("value", ["", "0", "off", "false", "no"])
+    def test_explicit_off_values(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_GRAPH_CACHE", value)
+        assert graph_cache.cache_dir() is None
+
+    def test_load_and_store_are_noops_when_disabled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_GRAPH_CACHE", raising=False)
+        spec = BENCHMARKS["WT"]
+        assert graph_cache.load_cached_graph(spec, 0, 6) is None
+        graph = web_graph(64, 256, seed=3)
+        graph_cache.store_cached_graph(spec, 0, 6, graph)  # no crash
+
+
+class TestGraphRoundTrip:
+    def test_store_then_load_is_identical(self, cache_env):
+        spec = BENCHMARKS["WT"]
+        graph = spec.generate(shrink=6)
+        graph_cache.store_cached_graph(spec, 0, 6, graph)
+        loaded = graph_cache.load_cached_graph(spec, 0, 6)
+        assert loaded is not None
+        assert _graphs_equal(graph, loaded)
+        assert os.listdir(cache_env)  # something actually hit the disk
+
+    def test_weighted_graph_round_trips(self, cache_env):
+        spec = BENCHMARKS["WT"]
+        graph = spec.generate(shrink=6).with_weights()
+        graph_cache.store_cached_graph(spec, 1, 6, graph)
+        loaded = graph_cache.load_cached_graph(spec, 1, 6)
+        assert loaded.weighted
+        assert _graphs_equal(graph, loaded)
+
+    def test_different_recipes_do_not_collide(self, cache_env):
+        spec = BENCHMARKS["WT"]
+        graph = spec.generate(shrink=6)
+        graph_cache.store_cached_graph(spec, 0, 6, graph)
+        assert graph_cache.load_cached_graph(spec, 0, 12) is None
+        assert graph_cache.load_cached_graph(spec, 5, 6) is None
+        assert graph_cache.load_cached_graph(BENCHMARKS["RV"], 0, 6) is None
+
+    def test_corrupt_entry_degrades_to_miss(self, cache_env):
+        spec = BENCHMARKS["WT"]
+        graph = spec.generate(shrink=6)
+        graph_cache.store_cached_graph(spec, 0, 6, graph)
+        (entry,) = [
+            name for name in os.listdir(cache_env)
+            if name.startswith("graph-")
+        ]
+        with open(os.path.join(cache_env, entry), "wb") as fh:
+            fh.write(b"not an npz file")
+        assert graph_cache.load_cached_graph(spec, 0, 6) is None
+
+    def test_load_benchmark_populates_and_reuses_disk(self, cache_env):
+        # Fresh in-memory cache so the disk path is actually exercised.
+        from repro.graph import datasets
+
+        datasets._cache.clear()
+        first = load_benchmark("WT", shrink=6)
+        assert any(
+            name.startswith("graph-") for name in os.listdir(cache_env)
+        )
+        datasets._cache.clear()
+        second = load_benchmark("WT", shrink=6)
+        assert _graphs_equal(first, second)
+        datasets._cache.clear()
+
+
+class TestPartitionCache:
+    def test_partition_round_trip_matches_fresh_compute(self, cache_env):
+        graph = web_graph(500, 2500, seed=7)
+        part = partition_edges(graph, 64, 128)  # miss: computes + stores
+        assert any(
+            name.startswith("part-") for name in os.listdir(cache_env)
+        )
+        again = partition_edges(graph, 64, 128)  # hit: loads from disk
+        assert np.array_equal(part._order, again._order)
+        assert np.array_equal(part._offsets, again._offsets)
+        assert part.shard_sizes().sum() == graph.n_edges
+
+    def test_relabeled_graph_gets_its_own_entry(self, cache_env):
+        graph = web_graph(300, 1200, seed=11)
+        permutation = np.arange(graph.n_nodes)[::-1].copy()
+        relabeled = graph.relabel(permutation)
+        part_a = partition_edges(graph, 32, 32)
+        part_b = partition_edges(relabeled, 32, 32)
+        entries = [
+            name for name in os.listdir(cache_env)
+            if name.startswith("part-")
+        ]
+        assert len(entries) == 2
+        assert part_a.shard_sizes().sum() == part_b.shard_sizes().sum()
+
+    def test_cached_partition_equals_uncached(self, cache_env, monkeypatch):
+        graph = web_graph(400, 1600, seed=13)
+        cached = partition_edges(graph, 64, 64)
+        cached_again = partition_edges(graph, 64, 64)
+        monkeypatch.setenv("REPRO_GRAPH_CACHE", "0")
+        fresh = partition_edges(graph, 64, 64)
+        assert np.array_equal(cached._order, fresh._order)
+        assert np.array_equal(cached_again._offsets, fresh._offsets)

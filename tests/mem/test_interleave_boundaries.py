@@ -1,0 +1,105 @@
+"""Boundary-case coverage for the 2,048 B channel interleaving.
+
+The PE burst path and the MOMS downstream both lean on
+``AddressInterleaver.split`` for requests that straddle channel
+granule edges; these tests pin the exact piece layout at the edges.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mem.interleave import DEFAULT_GRANULE, AddressInterleaver
+
+
+class TestGranuleEdges:
+    def test_request_ending_exactly_at_edge_is_one_piece(self):
+        inter = AddressInterleaver(4)
+        addr = DEFAULT_GRANULE - 64
+        pieces = inter.split(addr, 64)
+        assert pieces == [(0, addr, 64, addr)]
+
+    def test_request_starting_exactly_at_edge_lands_on_next_channel(self):
+        inter = AddressInterleaver(4)
+        pieces = inter.split(DEFAULT_GRANULE, 64)
+        assert pieces == [(1, 0, 64, DEFAULT_GRANULE)]
+
+    def test_straddling_request_splits_at_the_edge(self):
+        inter = AddressInterleaver(4)
+        addr = DEFAULT_GRANULE - 4
+        pieces = inter.split(addr, 8)
+        assert len(pieces) == 2
+        (ch0, local0, n0, g0), (ch1, local1, n1, g1) = pieces
+        assert (ch0, n0, g0) == (0, 4, addr)
+        assert (ch1, n1, g1) == (1, 4, DEFAULT_GRANULE)
+        assert local0 == addr
+        assert local1 == 0
+
+    def test_last_channel_wraps_to_first(self):
+        inter = AddressInterleaver(2)
+        addr = 2 * DEFAULT_GRANULE - 4  # owned by channel 1, next is 0
+        pieces = inter.split(addr, 8)
+        assert [piece[0] for piece in pieces] == [1, 0]
+        # The wrap lands in channel 0's *second* granule.
+        assert pieces[1][1] == DEFAULT_GRANULE
+
+    def test_single_byte_on_each_side_of_the_edge(self):
+        inter = AddressInterleaver(4)
+        before = inter.split(DEFAULT_GRANULE - 1, 1)
+        after = inter.split(DEFAULT_GRANULE, 1)
+        assert before == [(0, DEFAULT_GRANULE - 1, 1, DEFAULT_GRANULE - 1)]
+        assert after == [(1, 0, 1, DEFAULT_GRANULE)]
+
+    def test_multi_granule_burst_visits_consecutive_channels(self):
+        inter = AddressInterleaver(4)
+        pieces = inter.split(0, 3 * DEFAULT_GRANULE)
+        assert [piece[0] for piece in pieces] == [0, 1, 2]
+        assert all(piece[2] == DEFAULT_GRANULE for piece in pieces)
+
+    def test_burst_longer_than_one_round_reuses_channels(self):
+        inter = AddressInterleaver(2)
+        pieces = inter.split(0, 5 * DEFAULT_GRANULE)
+        assert [piece[0] for piece in pieces] == [0, 1, 0, 1, 0]
+        # Second visit to channel 0 continues at its next local granule.
+        assert pieces[2][1] == DEFAULT_GRANULE
+
+    def test_misaligned_multi_granule_straddle(self):
+        inter = AddressInterleaver(4)
+        addr = DEFAULT_GRANULE // 2
+        pieces = inter.split(addr, 2 * DEFAULT_GRANULE)
+        sizes = [piece[2] for piece in pieces]
+        assert sizes == [
+            DEFAULT_GRANULE // 2, DEFAULT_GRANULE, DEFAULT_GRANULE // 2,
+        ]
+        assert [piece[0] for piece in pieces] == [0, 1, 2]
+
+
+class TestSplitConsistency:
+    @given(
+        addr=st.integers(min_value=0, max_value=10 * DEFAULT_GRANULE),
+        nbytes=st.integers(min_value=1, max_value=3 * DEFAULT_GRANULE),
+        n_channels=st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_pieces_agree_with_to_local_and_to_global(
+        self, addr, nbytes, n_channels
+    ):
+        inter = AddressInterleaver(n_channels)
+        pieces = inter.split(addr, nbytes)
+        cursor = addr
+        for channel, local, piece_bytes, global_addr in pieces:
+            assert global_addr == cursor
+            assert (channel, local) == inter.to_local(global_addr)
+            assert inter.to_global(channel, local) == global_addr
+            # A piece never crosses a granule edge.
+            assert (global_addr // DEFAULT_GRANULE
+                    == (global_addr + piece_bytes - 1) // DEFAULT_GRANULE)
+            cursor += piece_bytes
+        assert cursor == addr + nbytes
+
+    def test_zero_or_negative_sizes_rejected(self):
+        inter = AddressInterleaver(2)
+        with pytest.raises(ValueError):
+            inter.split(0, 0)
+        with pytest.raises(ValueError):
+            inter.split(0, -8)

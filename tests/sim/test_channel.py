@@ -168,7 +168,7 @@ class TestThrottle:
     def test_validate_flags_overfull_channel(self):
         _, ch = make_engine_with_channel(2)
         ch.validate()
-        ch._ready.extend([1, 2, 3])  # corrupt it deliberately
+        ch._visible = 3  # corrupt the ring accounting deliberately
         with pytest.raises(AssertionError):
             ch.validate()
 

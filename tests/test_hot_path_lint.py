@@ -1,0 +1,112 @@
+"""Lint-style guard: hot modules must stay on the bulk/fields channel API.
+
+The kernelization pass (DESIGN.md 6.4) migrated every hot-path
+producer/consumer from element-at-a-time ``Channel.push`` / ``pop``
+loops to the bulk (``push_many`` / ``pop_many`` / ``pop_all``) and
+fields (``push_request`` / ``front_request`` / ``drop`` ...) APIs.
+This test walks the AST of the hot modules and fails when a loop body
+re-introduces a single-token object-API call on a fixed channel, so a
+regression shows up as a named file:line instead of a slow benchmark.
+
+Deliberately out of scope:
+
+* the fabric (arbiter / crossbar / crossing) -- those grant exactly one
+  token per cycle by construction (the paper's arbitration), so a
+  per-token call is the architecture, not a missed batch;
+* subscripted receivers like ``ports[channel].push(...)`` -- the target
+  channel varies per iteration (per-DRAM-channel burst pieces), which
+  no bulk call on a single channel can express;
+* freelist receivers (``pool.pop()``) -- LIFO list pops, not channels.
+"""
+
+import ast
+import pathlib
+
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src" / "repro"
+
+HOT_MODULES = (
+    "core/bank.py",
+    "core/hierarchy.py",
+    "mem/dram.py",
+    "accel/pe.py",
+    "accel/scheduler.py",
+)
+
+# Object-API methods that move one token per call.
+SINGLE_TOKEN = {"push", "front"}
+# Receiver base names that are not channels.
+ALLOWED_RECEIVERS = ("pool", "pending", "path", "stack", "heap")
+
+
+def _receiver_name(node):
+    """Base identifier of a call receiver, or None if it varies."""
+    if isinstance(node, ast.Subscript):
+        return None  # ports[channel].push(...): target varies
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _violations_in(tree, filename):
+    violations = []
+    loops = [
+        node for node in ast.walk(tree)
+        if isinstance(node, (ast.For, ast.While))
+    ]
+    for loop in loops:
+        for node in ast.walk(loop):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not isinstance(func, ast.Attribute):
+                continue
+            single = func.attr in SINGLE_TOKEN or (
+                func.attr == "pop" and not node.args and not node.keywords
+            )
+            if not single:
+                continue
+            receiver = _receiver_name(func.value)
+            if receiver is None:
+                continue
+            if any(mark in receiver for mark in ALLOWED_RECEIVERS):
+                continue
+            violations.append(
+                f"{filename}:{node.lineno}: '{receiver}.{func.attr}(...)' "
+                f"inside a loop -- use push_many/pop_many or the fields "
+                f"API on hot paths"
+            )
+    return violations
+
+
+class TestHotPathLint:
+    def test_hot_modules_exist(self):
+        for module in HOT_MODULES:
+            assert (SRC / module).is_file(), module
+
+    def test_no_single_token_loops_in_hot_modules(self):
+        violations = []
+        for module in HOT_MODULES:
+            path = SRC / module
+            tree = ast.parse(path.read_text(), filename=module)
+            violations.extend(_violations_in(tree, module))
+        assert not violations, "\n".join(violations)
+
+    def test_linter_catches_a_seeded_violation(self):
+        """The rule itself must actually fire (guards the guard)."""
+        bad = ast.parse(
+            "def tick(self, engine):\n"
+            "    for item in batch:\n"
+            "        self.resp_out.push(item)\n"
+        )
+        assert _violations_in(bad, "seeded.py")
+
+    def test_linter_allows_varying_and_freelist_receivers(self):
+        good = ast.parse(
+            "def issue(self):\n"
+            "    for channel, item in pieces:\n"
+            "        ports[channel].push(item)\n"
+            "        token = pool.pop()\n"
+        )
+        assert _violations_in(good, "seeded.py") == []
