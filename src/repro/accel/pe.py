@@ -28,7 +28,7 @@ from collections import deque
 import numpy as np
 
 from repro.graph.encoding import EDGE_DST_BITS, EDGE_SRC_BITS, TERMINATOR_BIT
-from repro.mem.dram import LINE_BYTES, MemRequest, MemResponse
+from repro.mem.dram import LINE_BYTES, MemResponse, _acquire_request
 from repro.sim import Component
 
 IDLE = "idle"
@@ -65,6 +65,10 @@ class BurstRequester:
         needed = {}
         for channel, _local, _nbytes, _global_addr in pieces:
             needed[channel] = needed.get(channel, 0) + 1
+        # simlint: disable=R1 -- filled in piece order just above, and
+        # dict iteration is insertion-ordered; also order-insensitive
+        # (an all-must-pass capacity check), so no cycle decision rides
+        # on it.
         for channel, count in needed.items():
             if not ports[channel].can_push_n(count):
                 return False
@@ -86,7 +90,6 @@ class BurstRequester:
         pieces = self.interleaver.split(addr, nbytes)
         ports = self.channel_ports
         respond_to = self.respond_to
-        pool = MemRequest._pool
         if is_write:
             data = np.asarray(data, dtype=np.uint8)
         for channel, _local, piece_bytes, global_addr in pieces:
@@ -94,22 +97,8 @@ class BurstRequester:
             if is_write:
                 offset = global_addr - addr
                 piece_data = data[offset:offset + piece_bytes]
-            if pool:
-                request = pool.pop()
-                request.addr = global_addr
-                request.nbytes = piece_bytes
-                request.kind = "burst"
-                request.is_write = is_write
-                request.tag = tag
-                request.respond_to = respond_to
-                request.data = piece_data
-            else:
-                MemRequest._fresh += 1
-                request = MemRequest(
-                    addr=global_addr, nbytes=piece_bytes, kind="burst",
-                    is_write=is_write, tag=tag, respond_to=respond_to,
-                    data=piece_data,
-                )
+            request = _acquire_request(global_addr, piece_bytes, "burst",
+                                       is_write, tag, respond_to, piece_data)
             ports[channel].push(request)
         return len(pieces)
 

@@ -19,7 +19,7 @@ import numpy as np
 from repro.sim import Component
 
 
-@dataclass
+@dataclass(slots=True)
 class Job:
     """One destination interval's worth of work."""
 

@@ -312,7 +312,8 @@ class AcceleratorSystem:
         """End-of-iteration invariants: ledger + structural drain."""
         from repro.faults import check_drained
         context = f"end of iteration {iteration}"
-        self.ledger.assert_drained(context)
+        if self.ledger is not None:
+            self.ledger.assert_drained(context)
         check_drained(self, context)
         for channel in self.engine._channels:
             channel.validate()

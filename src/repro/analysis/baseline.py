@@ -1,0 +1,106 @@
+"""Accepted-findings baselines: fail only on *new* violations.
+
+``python -m repro lint --write-baseline simlint_baseline.json`` records
+the current findings; later runs with ``--baseline`` demote any finding
+whose (rule, path, message) matches a recorded entry to "baselined"
+(reported, never fatal).  Keys are line-free so unrelated edits that
+shift a tolerated finding around a file do not resurrect it.
+
+Parsing is tolerant in the journal-schema tradition (DESIGN.md 6.3):
+a missing file is an empty baseline, a corrupt file or a newer schema
+degrades to "nothing accepted" plus a note in ``result.notes`` --
+never a crash, because the linter guarding the tree must not itself
+fall over on a stale artifact.
+"""
+
+import json
+
+from repro.analysis import engine as _engine
+
+
+def write_baseline(path, result):
+    """Record the active findings of *result* as accepted."""
+    entries = [
+        {
+            "rule": finding.rule,
+            "path": finding.path,
+            "message": finding.message,
+            # Informational only -- matching ignores it (line drift).
+            "line": finding.line,
+        }
+        for finding in result.findings
+    ]
+    entries.sort(key=lambda entry: (entry["path"], entry["rule"],
+                                    entry["message"]))
+    payload = {"schema": _engine.LINT_SCHEMA, "accepted": entries}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return len(entries)
+
+
+def load_baseline(path):
+    """Set of accepted (rule, path, message) keys, plus warnings.
+
+    Returns ``(keys, warnings)``; every failure mode degrades to fewer
+    accepted keys, never an exception.
+    """
+    warnings = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except FileNotFoundError:
+        return frozenset(), warnings
+    except (OSError, ValueError) as error:
+        warnings.append(f"baseline {path}: unreadable ({error}); "
+                        f"treating as empty")
+        return frozenset(), warnings
+    if not isinstance(payload, dict):
+        warnings.append(f"baseline {path}: not an object; treating as empty")
+        return frozenset(), warnings
+    schema = payload.get("schema", 1)
+    if isinstance(schema, int) and schema > _engine.LINT_SCHEMA:
+        warnings.append(
+            f"baseline {path}: schema {schema} is newer than this tool "
+            f"({_engine.LINT_SCHEMA}); treating as empty"
+        )
+        return frozenset(), warnings
+    keys = set()
+    accepted = payload.get("accepted", [])
+    if not isinstance(accepted, list):
+        warnings.append(f"baseline {path}: 'accepted' is not a list; "
+                        f"treating as empty")
+        return frozenset(), warnings
+    for entry in accepted:
+        if not isinstance(entry, dict):
+            continue  # tolerate junk entries
+        rule = entry.get("rule")
+        rel = entry.get("path")
+        message = entry.get("message")
+        if isinstance(rule, str) and isinstance(rel, str) \
+                and isinstance(message, str):
+            keys.add((rule, rel, message))
+    return frozenset(keys), warnings
+
+
+def apply_baseline(result, path):
+    """Demote baselined findings in-place; returns *result*.
+
+    Baseline problems are *notes*, not errors: a stale or corrupt
+    baseline degrades to "nothing accepted" (every finding stays
+    active) instead of failing the tool itself.
+    """
+    keys, warnings = load_baseline(path)
+    result.notes.extend(warnings)
+    if not keys:
+        return result
+    kept = []
+    for finding in result.findings:
+        if finding.baseline_key() in keys:
+            finding.baselined = True
+            result.baselined.append(finding)
+        else:
+            kept.append(finding)
+    result.findings = kept
+    result.baselined.sort(key=lambda finding: finding.sort_key())
+    return result

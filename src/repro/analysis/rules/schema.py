@@ -1,0 +1,62 @@
+"""R8: versioned-row literals must reference the schema constants.
+
+Journal rows (``repro.experiments.common.JOURNAL_SCHEMA``), activity
+summaries (``repro.core.stats.ACTIVITY_SCHEMA_VERSION``) and telemetry
+exports (``TELEMETRY_SCHEMA_VERSION``) are all consumed by tolerant
+readers that key their compatibility decisions on the embedded version
+number.  A writer that inlines the number as a literal keeps "working"
+when the constant is bumped -- and silently stamps rows with a stale
+version, which is exactly the drift the tolerant parsing was built to
+survive, not to create.
+"""
+
+import ast
+
+from repro.analysis.rules.base import Rule
+
+_VERSION_KEYS = ("schema", "version")
+
+
+class SchemaLiteralRule(Rule):
+    """R8: no integer literals under 'schema'/'version' dict keys."""
+
+    id = "R8"
+    name = "schema-literal"
+    severity = "error"
+    summary = "schema/version row fields must reference the constants"
+    rationale = (
+        "Tolerant readers (journal --resume, telemetry validators) "
+        "compare the embedded version against the module constant; a "
+        "literal in the writer decouples the two, so bumping the "
+        "constant no longer bumps the rows and stale data passes as "
+        "current."
+    )
+    hint = ("reference JOURNAL_SCHEMA / ACTIVITY_SCHEMA_VERSION / "
+            "TELEMETRY_SCHEMA_VERSION (or define a constant next to the "
+            "new writer)")
+
+    POSITIVE = (
+        "def journal_row(point):\n"
+        "    return {'schema': 2, 'point': repr(point)}\n"
+    )
+    NEGATIVE = (
+        "JOURNAL_SCHEMA = 2\n"
+        "def journal_row(point):\n"
+        "    return {'schema': JOURNAL_SCHEMA, 'point': repr(point)}\n"
+    )
+
+    def check(self, source, ctx):
+        for node in ast.walk(source.tree):
+            if not isinstance(node, ast.Dict):
+                continue
+            for key, value in zip(node.keys, node.values):
+                if (isinstance(key, ast.Constant)
+                        and key.value in _VERSION_KEYS
+                        and isinstance(value, ast.Constant)
+                        and type(value.value) is int):
+                    yield self.finding(
+                        source, value,
+                        f"row field '{key.value}' is the integer literal "
+                        f"{value.value}; writers must reference the "
+                        f"schema constant",
+                    )

@@ -29,7 +29,7 @@ from repro.fabric.design import (
     MOMS_TRADITIONAL,
     MOMS_TWO_LEVEL,
 )
-from repro.mem.dram import LINE_BYTES, MemRequest
+from repro.mem.dram import LINE_BYTES, _acquire_request
 from repro.sim import Channel, SoaChannel
 
 
@@ -59,20 +59,8 @@ class DramDownstream:
     def issue(self, line_addr):
         addr = line_addr * LINE_BYTES
         channel = self.mem.channel_of(addr)
-        pool = MemRequest._pool
-        if pool:
-            request = pool.pop()
-            request.addr = addr
-            request.nbytes = LINE_BYTES
-            request.kind = "single"
-            request.is_write = False
-            request.tag = None
-            request.respond_to = self.respond_to
-            request.data = None
-        else:
-            MemRequest._fresh += 1
-            request = MemRequest(addr=addr, nbytes=LINE_BYTES, kind="single",
-                                 respond_to=self.respond_to)
+        request = _acquire_request(addr, LINE_BYTES, "single", False, None,
+                                   self.respond_to, None)
         self.request_ports[channel].push(request)
         self.lines_requested += 1
 

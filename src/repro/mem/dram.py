@@ -112,6 +112,31 @@ def _acquire_response(tag, addr, beat, last, is_write_ack, issued_at):
                        is_write_ack=is_write_ack, issued_at=issued_at)
 
 
+def _acquire_request(addr, nbytes, kind, is_write, tag, respond_to, data):
+    """Pooled MemRequest acquisition (see repro.core.messages).
+
+    The one sanctioned construction site for hot-path MemRequests
+    (simlint R3): issuers that used to inline the pool-or-construct
+    fallback call this instead, so the freelist is always consulted
+    first and the pool-miss accounting stays in one place.
+    """
+    pool = MemRequest._pool
+    if pool:
+        request = pool.pop()
+        request.addr = addr
+        request.nbytes = nbytes
+        request.kind = kind
+        request.is_write = is_write
+        request.tag = tag
+        request.respond_to = respond_to
+        request.data = data
+        return request
+    MemRequest._fresh += 1
+    return MemRequest(addr=addr, nbytes=nbytes, kind=kind,
+                      is_write=is_write, tag=tag, respond_to=respond_to,
+                      data=data)
+
+
 @dataclass
 class DramStats:
     bytes_read: int = 0

@@ -629,6 +629,9 @@ class SoaChannel(Channel):
                 f"push of {len(items)} tokens to full channel {self.name!r}"
             )
         for item in items:
+            # simlint: disable=R2 -- this IS the bulk API: one capacity
+            # check above, then self.push routes each token into the
+            # SoA field columns (object-API compatibility shim).
             self.push(item)
 
     def _rebuild(self, i):
