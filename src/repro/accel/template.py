@@ -47,6 +47,15 @@ class AlgorithmSpec:
     finalize: Callable = None      # (dram uint32 array, graph) -> host array
     global_const: Callable = None  # (graph) -> scalar passed to init
 
+    # Columnar kernels (``REPRO_KERNELS=vector``): whole-array forms of
+    # the scalar hooks, bit-identical element-for-element.  Optional --
+    # a spec that omits them runs the scalar hooks even under the
+    # vector engine.
+    init_vec: Optional[Callable] = None
+    """(const float64 slice, dram uint32 words) -> float64 BRAM values."""
+    apply_enc_vec: Optional[Callable] = None
+    """(bram float64, const float64, base scalar) -> uint32 DRAM words."""
+
     def initial_dram_image(self, graph, **kwargs):
         """V_DRAM,in as a uint32 array (raw bits)."""
         values = self.initial_values(graph, **kwargs)

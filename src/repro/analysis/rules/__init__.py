@@ -17,6 +17,7 @@ from repro.analysis.rules.pooling import (
     discover_pooled_classes,
 )
 from repro.analysis.rules.schema import SchemaLiteralRule
+from repro.analysis.rules.vectorize import ScalarDriftRule
 
 ALL_RULES = tuple(sorted(
     (
@@ -28,6 +29,7 @@ ALL_RULES = tuple(sorted(
         MutableDefaultRule(),
         MissingSlotsRule(),
         SchemaLiteralRule(),
+        ScalarDriftRule(),
     ),
     key=lambda rule: int(rule.id[1:]),
 ))

@@ -1,0 +1,106 @@
+"""R9: scalar drift guard for the columnar (vector) kernels.
+
+Columnar engine v2 (DESIGN.md 6.6) keeps every hot structure in two
+implementations: the scalar reference loop and a ``*_vec`` twin that
+advances whole batches with numpy kernels or slice assignments.  The
+scalar twin is *supposed* to loop; the vector twin defeats its own
+purpose the moment someone patches a per-token ``for`` loop over a
+whole-batch source back into it -- the benchmark quietly regresses
+while every test stays green, because both paths are cycle-identical
+by construction.
+
+This rule flags ``for`` loops inside ``*_vec`` functions whose
+iterable is a whole-batch getter: a bulk channel drain (``pop_all`` /
+``pop_many``), a subentry chain walk (``chain_items``), or a
+materialized numpy column (``.tolist()``), directly or wrapped in
+``zip()`` / ``enumerate()``.  Bounded per-cycle loops (``range(4)``,
+walking the d cuckoo ways, piece lists) stay legal -- they are
+per-cycle constants, not per-token batch work.
+"""
+
+import ast
+
+from repro.analysis.rules.base import Rule
+
+# Attribute calls that hand back an entire batch at once.
+BATCH_GETTERS = ("pop_all", "pop_many", "chain_items", "tolist")
+
+
+def _batch_call(node):
+    """True if *node* is a call to a whole-batch getter."""
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in BATCH_GETTERS
+    )
+
+
+def _batch_iterable(node):
+    """The offending getter name if *node* iterates a whole batch."""
+    if _batch_call(node):
+        return node.func.attr
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("zip", "enumerate")
+    ):
+        for arg in node.args:
+            if _batch_call(arg):
+                return arg.func.attr
+    return None
+
+
+class ScalarDriftRule(Rule):
+    """R9: no per-token for-loops over batches inside vector kernels."""
+
+    id = "R9"
+    name = "scalar-drift"
+    severity = "error"
+    summary = "no per-token loops over whole batches in *_vec kernels"
+    rationale = (
+        "A vector kernel that iterates its batch token-by-token is the "
+        "scalar path wearing the vector path's name: cycle counts stay "
+        "identical (both paths are bit-exact by contract), so the "
+        "regression is invisible to every correctness test and only "
+        "surfaces as a slow benchmark.  Catching the loop statically "
+        "names the file:line instead."
+    )
+    hint = (
+        "advance the whole batch with a numpy kernel or slice "
+        "assignment; if per-token work is unavoidable, move it to the "
+        "scalar twin (the function without the _vec suffix)"
+    )
+
+    POSITIVE = (
+        "def _drain_one_vec(self):\n"
+        "    for token in self.resp_in.pop_all():\n"
+        "        self.handle(token)\n"
+    )
+    NEGATIVE = (
+        "def _drain_one(self):\n"
+        "    for token in self.resp_in.pop_all():\n"
+        "        self.handle(token)\n"
+        "def _drain_one_vec(self):\n"
+        "    batch = self.resp_in.pop_all()\n"
+        "    self.resp_out.push_many(batch)\n"
+        "    for way in range(4):\n"
+        "        self.step(way)\n"
+    )
+
+    def check(self, source, ctx):
+        for node in ast.walk(source.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not node.name.endswith("_vec"):
+                continue
+            for loop in ast.walk(node):
+                if not isinstance(loop, ast.For):
+                    continue
+                getter = _batch_iterable(loop.iter)
+                if getter is None:
+                    continue
+                yield self.finding(
+                    source, loop,
+                    f"per-token loop over '{getter}(...)' batch inside "
+                    f"vector kernel '{node.name}'",
+                )

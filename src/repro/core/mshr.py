@@ -15,6 +15,8 @@ Two implementations:
 
 from dataclasses import dataclass, field
 
+from repro.sim.kernels import splitmix64_slots
+
 
 @dataclass(slots=True)
 class MshrEntry:
@@ -105,6 +107,24 @@ class CuckooMshrFile:
 
     def _slot(self, way, line_addr):
         return self._slots(line_addr)[way]
+
+    def prime_slots(self, line_addrs):
+        """Batch-fill the slot memo for *line_addrs* (vector kernel).
+
+        One numpy splitmix64 pass computes the candidate slots of every
+        yet-unhashed line at once; subsequent ``_slots`` calls are memo
+        hits.  Purely a precomputation -- no stats, no table state --
+        so scalar and vector runs stay state-identical.
+        """
+        cache = self._slot_cache
+        fresh = [la for la in line_addrs if la not in cache]
+        if not fresh:
+            return
+        rows = splitmix64_slots(
+            fresh, self._multipliers, self.way_size
+        ).tolist()
+        for line_addr, row in zip(fresh, rows):
+            cache[line_addr] = tuple(row)
 
     def lookup(self, line_addr):
         """Return the entry for *line_addr* or None."""

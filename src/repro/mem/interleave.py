@@ -7,6 +7,8 @@ local address) pair and can split multi-granule bursts into the
 per-channel pieces they touch.
 """
 
+from repro.sim.kernels import channels_of_batch
+
 DEFAULT_GRANULE = 2048
 
 
@@ -24,6 +26,14 @@ class AddressInterleaver:
     def channel_of(self, addr):
         """Channel that owns global byte address *addr*."""
         return (addr // self.granule) % self.n_channels
+
+    def channels_of(self, addrs):
+        """Owning channel per address in *addrs*, as an int64 array.
+
+        The columnar form of :meth:`channel_of`: one integer-arithmetic
+        numpy pass instead of a per-address division loop.
+        """
+        return channels_of_batch(addrs, self.granule, self.n_channels)
 
     def to_local(self, addr):
         """Translate a global address to (channel, channel-local address)."""
@@ -47,6 +57,15 @@ class AddressInterleaver:
         """
         if nbytes <= 0:
             raise ValueError("nbytes must be positive")
+        granule = self.granule
+        offset = addr % granule
+        if offset + nbytes <= granule:
+            # Fast path: the burst stays inside one granule (every MOMS
+            # line read and most DMA bursts), so the piece list is the
+            # whole request -- no boundary walk needed.
+            granule_index = addr // granule
+            local = (granule_index // self.n_channels) * granule + offset
+            return [(granule_index % self.n_channels, local, nbytes, addr)]
         pieces = []
         cursor = addr
         end = addr + nbytes

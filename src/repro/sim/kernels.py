@@ -1,0 +1,101 @@
+"""Columnar engine v2: kernel-mode selection and shared numpy kernels.
+
+The hot structures of the simulator (MSHR files, subentry stores, the
+DRAM response schedule, the PE's decoded-edge backlog) exist in two
+implementations:
+
+* ``scalar`` -- the original per-token Python loops, kept as the
+  reference semantics path (the ``REPRO_ENGINE=legacy`` precedent);
+* ``vector`` -- the same state held as parallel columns (plain lists
+  or numpy arrays) and advanced by batch kernels where a whole cycle's
+  worth of work is available at once.
+
+Both paths are cycle-identical by construction: every vector kernel is
+an elementwise transliteration of its scalar loop (integer arithmetic
+wraps identically mod 2**64, IEEE float64/float32 elementwise ops are
+bit-exact either way), and the differential tests in
+``tests/core/test_kernels_diff.py`` assert state-for-state equality
+over long randomized sequences.
+
+The knob mirrors ``REPRO_ENGINE``: ``REPRO_KERNELS=scalar|vector``
+(default ``vector``), read at *construction* time by each component,
+so one process can build and compare systems in both modes (the bench
+harness does exactly that).
+"""
+
+import os
+
+_NUMPY_HELP = (
+    "numpy is required by the repro core simulator: the functional "
+    "memory store is a numpy byte buffer and the columnar engine's "
+    "MOMS/DRAM/PE kernels operate on numpy arrays.  There is no "
+    "numpy-free fallback (REPRO_KERNELS=scalar only changes the inner "
+    "loops, not the storage).  Install it with `pip install numpy`."
+)
+
+try:
+    import numpy as np
+except ImportError as exc:  # pragma: no cover - exercised only sans numpy
+    raise ImportError(_NUMPY_HELP) from exc
+
+VALID_KERNEL_MODES = ("scalar", "vector")
+
+#: splitmix64 finalizer constants (match repro.core.mshr's scalar chain).
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+_S30 = np.uint64(30)
+_S27 = np.uint64(27)
+_S31 = np.uint64(31)
+
+
+def kernels_mode():
+    """The selected kernel mode: ``'scalar'`` or ``'vector'``.
+
+    Read dynamically from ``REPRO_KERNELS`` (default ``vector``) so a
+    harness can switch modes between system builds, exactly like
+    ``repro.sim.engine.make_engine`` reads ``REPRO_ENGINE``.
+    """
+    mode = os.environ.get("REPRO_KERNELS", "vector").strip().lower()
+    if mode not in VALID_KERNEL_MODES:
+        raise ValueError(
+            f"REPRO_KERNELS={mode!r}: expected one of {VALID_KERNEL_MODES}"
+        )
+    return mode
+
+
+def vector_enabled():
+    """True when components built now should use the vector kernels."""
+    return kernels_mode() == "vector"
+
+
+def splitmix64_slots(line_addrs, multipliers, way_size):
+    """Cuckoo candidate slots for a batch of line addresses.
+
+    Returns an ``(n_addrs, n_ways)`` uint64 array where row *i*, column
+    *w* is the slot of ``line_addrs[i]`` in way *w* -- the batch form
+    of ``CuckooMshrFile._slots``.  uint64 arithmetic wraps mod 2**64,
+    which is exactly the scalar chain's ``& ((1 << 64) - 1)`` masking,
+    so the results are bit-identical.
+    """
+    addrs = np.asarray(line_addrs, dtype=np.uint64)
+    mults = np.asarray(multipliers, dtype=np.uint64)
+    h = addrs[:, None] + mults[None, :]
+    h = (h ^ (h >> _S30)) * _MIX1
+    h = (h ^ (h >> _S27)) * _MIX2
+    h ^= h >> _S31
+    return h % np.uint64(way_size)
+
+
+def channels_of_batch(addrs, granule, n_channels):
+    """Owning DRAM channel for each global byte address in *addrs*.
+
+    The batch form of ``AddressInterleaver.channel_of``: plain integer
+    array arithmetic, one numpy pass for the whole batch.
+    """
+    a = np.asarray(addrs, dtype=np.int64)
+    return (a // granule) % n_channels
+
+
+def line_addrs_of_batch(addrs, line_bytes):
+    """Cache-line index for each byte address in *addrs* (int64 array)."""
+    return np.asarray(addrs, dtype=np.int64) // line_bytes

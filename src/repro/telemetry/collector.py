@@ -430,7 +430,7 @@ class Telemetry:
             stats = channel.stats
             name = channel.name
             row[f"dram.{name}.queue"] = (
-                channel.req.pending + len(channel._scheduled)
+                channel.req.pending + channel.pending
             )
             prev_cycle, prev_bytes, prev_burst, prev_single = \
                 self._dram_prev[name]

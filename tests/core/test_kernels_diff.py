@@ -1,0 +1,311 @@
+"""Differential tests: REPRO_KERNELS=vector vs the scalar reference.
+
+Columnar engine v2 keeps every vectorized structure bit-identical to
+its scalar twin by construction (DESIGN.md 6.6).  These tests enforce
+the contract the hard way: seeded random operation sequences (>=10k
+ops per structure) drive both implementations and assert equal state
+after every step -- same tables, same stats, same delivered beats on
+the same cycles -- then whole systems race end to end, including under
+fault plans (MSHR-full windows, DRAM blackouts) with the vector
+kernels active.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.accel.config import ArchitectureConfig, SCALED_DEFAULTS, _design
+from repro.accel.system import AcceleratorSystem
+from repro.core.mshr import CuckooMshrFile
+from repro.core.subentry import SubentryStore
+from repro.fabric.design import MOMS_TWO_LEVEL
+from repro.faults import FaultPlan
+from repro.graph import web_graph
+from repro.mem import LINE_BYTES, DramTimings, MemRequest, MemorySystem
+from repro.sim import Channel, Component, Engine
+from repro.sim.kernels import splitmix64_slots
+
+SEED = 20210614  # ISCA'21 -- any fixed seed works, this one is ours
+
+
+# -- MSHR: batch splitmix64 slots vs the scalar chain ----------------------
+
+
+class TestMshrKernels:
+    def test_batch_slots_match_scalar_chain(self):
+        """10k+ line addresses, batch kernel vs per-address chain."""
+        file = CuckooMshrFile(capacity=4096, n_ways=4, seed=7)
+        rng = np.random.default_rng(SEED)
+        addrs = np.unique(np.concatenate([
+            rng.integers(0, 1 << 20, 6000),
+            rng.integers(0, 1 << 44, 6000),  # >32-bit lines too
+        ]))
+        assert len(addrs) >= 10_000
+        batch = splitmix64_slots(addrs, file._multipliers, file.way_size)
+        for i, line_addr in enumerate(addrs.tolist()):
+            assert tuple(batch[i].tolist()) == file._slots(line_addr)
+
+    def test_primed_file_evolves_identically(self):
+        """Random lookup/insert/remove sequence, primed vs lazy memo.
+
+        ``prime_slots`` is the vector path's only MSHR-side addition;
+        it must be a pure precomputation -- the primed file's tables,
+        occupancy, stats, and PRNG state stay equal to the lazy file's
+        after every operation.
+        """
+        lazy = CuckooMshrFile(capacity=512, n_ways=4, seed=3)
+        primed = CuckooMshrFile(capacity=512, n_ways=4, seed=3)
+        rng = np.random.default_rng(SEED + 1)
+        live = []
+        ops = 0
+        while ops < 12_000:
+            batch = rng.integers(0, 4096, rng.integers(1, 32)).tolist()
+            primed.prime_slots(batch)
+            for line_addr in batch:
+                ops += 1
+                roll = rng.random()
+                if live and roll < 0.35:
+                    victim = live.pop(rng.integers(0, len(live)))
+                    assert (lazy.remove(victim).line_addr
+                            == primed.remove(victim).line_addr)
+                elif lazy.lookup(line_addr) is None:
+                    primed.lookup(line_addr)
+                    a = lazy.insert(line_addr)
+                    b = primed.insert(line_addr)
+                    assert (a is None) == (b is None)
+                    if a is not None:
+                        live.append(line_addr)
+                else:
+                    primed.lookup(line_addr)
+                assert lazy.occupancy == primed.occupancy
+                assert lazy._victim_state == primed._victim_state
+                assert lazy.stats.as_dict() == primed.stats.as_dict()
+        snapshot = lambda f: [  # noqa: E731 - local shorthand
+            [e.line_addr if e is not None else None for e in table]
+            for table in f._tables
+        ]
+        assert snapshot(lazy) == snapshot(primed)
+        assert lazy.stats.insert_failures > 0  # sequence stressed kicks
+
+
+# -- Subentry store: columnar chains vs linked rows ------------------------
+
+
+class TestSubentryKernels:
+    def test_random_append_free_sequences_match(self):
+        """12k append/free ops on paired stores, state equal throughout."""
+        scalar = SubentryStore(48, row_size=4, columnar=False)
+        columnar = SubentryStore(48, row_size=4, columnar=True)
+        rng = np.random.default_rng(SEED + 2)
+        chains = []  # (scalar chain, columnar chain)
+        for op in range(12_000):
+            roll = rng.random()
+            if not chains or roll < 0.8:
+                if not chains or roll < 0.1:
+                    chains.append((scalar.new_chain(), columnar.new_chain()))
+                s_chain, c_chain = chains[rng.integers(0, len(chains))]
+                item = (int(rng.integers(0, 1 << 16)),
+                        int(rng.integers(0, 8)),
+                        int(rng.integers(0, 16)) * 4, 4)
+                assert (scalar.append(s_chain, item)
+                        == columnar.append(c_chain, item))
+            else:
+                s_chain, c_chain = chains.pop(rng.integers(0, len(chains)))
+                assert (list(SubentryStore.chain_items(s_chain))
+                        == list(SubentryStore.chain_items(c_chain)))
+                scalar.free_chain(s_chain)
+                columnar.free_chain(c_chain)
+            assert scalar.free_rows == columnar.free_rows
+            assert scalar.entries_live == columnar.entries_live
+            assert scalar.stats.as_dict() == columnar.stats.as_dict()
+        assert scalar.stats.overflows > 0  # the overflow path was hit
+        for s_chain, c_chain in chains:
+            assert (SubentryStore.chain_length(s_chain)
+                    == SubentryStore.chain_length(c_chain))
+            assert (list(SubentryStore.chain_items(s_chain))
+                    == list(SubentryStore.chain_items(c_chain)))
+
+
+# -- DRAM channel: segment scheduler vs per-beat tuples --------------------
+
+
+class _ScriptedProducer(Component):
+    """Pushes a fixed (cycle, request-factory) script into a channel."""
+
+    demand_driven = True
+
+    def __init__(self, engine, req, script):
+        self.req = req
+        self.script = script
+        self.idx = 0
+        engine.add_component(self)
+        req.subscribe_space(self)
+        engine.wake(self)
+
+    def tick(self, engine):
+        while self.idx < len(self.script):
+            when, make = self.script[self.idx]
+            if when > engine.now:
+                engine.wake_at(self, when)
+                return
+            if not self.req.can_push():
+                return  # space wake re-arms
+            self.req.push(make())
+            self.idx += 1
+
+    def is_idle(self):
+        return self.idx >= len(self.script)
+
+
+class _PatternedConsumer(Component):
+    """Drains 0..3 beats per cycle following a fixed seeded pattern."""
+
+    demand_driven = True
+
+    def __init__(self, engine, resp, pattern):
+        self.resp = resp
+        self.pattern = pattern
+        self.got = []
+        engine.add_component(self)
+        resp.subscribe_data(self)
+
+    def tick(self, engine):
+        budget = self.pattern[engine.now % len(self.pattern)]
+        while budget and self.resp.can_pop():
+            beat = self.resp.pop()
+            self.got.append((
+                engine.now, beat.tag, beat.addr, beat.beat, beat.last,
+                beat.is_write_ack,
+                None if beat.is_write_ack else bytes(beat.data),
+            ))
+            budget -= 1
+        if self.resp.can_pop():
+            engine.wake(self)  # throttled this cycle, not starved
+
+
+def _dram_service_trace(monkeypatch, kernels):
+    """Drive one DRAM channel with a seeded random request mix."""
+    monkeypatch.setenv("REPRO_KERNELS", kernels)
+    monkeypatch.setenv("REPRO_ENGINE", "demand")
+    engine = Engine()
+    mem = MemorySystem(engine, 1 << 20, n_channels=1,
+                       timings=DramTimings(latency=12))
+    mem.view_u32(0, (1 << 20) // 4)[:] = np.arange(
+        (1 << 20) // 4, dtype=np.uint32)
+    resp = engine.add_channel(Channel(8))
+    rng = np.random.default_rng(SEED + 3)
+    script = []
+    when = 0
+    expected_beats = 0
+    for index in range(800):
+        when += int(rng.integers(0, 4))
+        beats = int(rng.integers(1, 9))
+        addr = int(rng.integers(0, (1 << 20) // LINE_BYTES - beats))
+        addr *= LINE_BYTES
+        if rng.random() < 0.2:
+            payload = bytes(rng.integers(0, 256, 8, dtype=np.uint8))
+            script.append((when, (
+                lambda a=addr, p=payload: MemRequest(
+                    addr=a, nbytes=8, kind="single", is_write=True,
+                    data=np.frombuffer(p, dtype=np.uint8), tag=("w", index),
+                    respond_to=resp)
+            )))
+            expected_beats += 1  # the write ack
+        else:
+            nbytes = beats * LINE_BYTES
+            script.append((when, (
+                lambda a=addr, n=nbytes, t=("r", index): MemRequest(
+                    addr=a, nbytes=n, kind="burst", tag=t, respond_to=resp)
+            )))
+            expected_beats += beats
+    _ScriptedProducer(engine, mem.channels[0].req, script)
+    consumer = _PatternedConsumer(
+        engine, resp,
+        np.random.default_rng(SEED + 4).integers(0, 4, 64).tolist(),
+    )
+    engine.run(done=lambda: len(consumer.got) >= expected_beats,
+               max_cycles=200_000)
+    channel = mem.channels[0]
+    assert channel.pending == 0
+    return consumer.got, engine.now, channel.stats.as_dict()
+
+
+class TestDramKernels:
+    def test_segment_service_matches_per_beat(self, monkeypatch):
+        """~3.6k beats delivered cycle-for-cycle, byte-for-byte equal."""
+        scalar = _dram_service_trace(monkeypatch, "scalar")
+        vector = _dram_service_trace(monkeypatch, "vector")
+        assert scalar == vector
+        assert len(scalar[0]) > 3000
+        assert scalar[2]["peak_queue"] > 8  # backpressure was exercised
+
+
+# -- End-to-end: whole systems race scalar vs vector -----------------------
+
+
+def _small_system(algorithm, **kwargs):
+    config = ArchitectureConfig(
+        _design(4, 4, MOMS_TWO_LEVEL, algorithm, n_channels=2),
+        **SCALED_DEFAULTS,
+    )
+    graph = web_graph(600, 3000, seed=9)
+    return AcceleratorSystem(graph, algorithm, config, **kwargs)
+
+
+def _run_mode(monkeypatch, algorithm, kernels, **kwargs):
+    monkeypatch.setenv("REPRO_KERNELS", kernels)
+    monkeypatch.setenv("REPRO_ENGINE", "demand")
+    system = _small_system(algorithm, **kwargs)
+    result = system.run(max_iterations=3)
+    hierarchy = system.hierarchy
+    banks = list(hierarchy.private_banks) + list(hierarchy.shared_banks)
+    return result, {
+        "cycles": result.cycles,
+        "values": result.values.tolist(),
+        "mshr": [bank.mshrs.stats.as_dict() for bank in banks],
+        "subentries": [bank.subentries.stats.as_dict() for bank in banks],
+        "banks": [dataclasses.asdict(bank.stats) for bank in banks],
+        "dram": [ch.stats.as_dict() for ch in system.mem.channels],
+    }
+
+class TestEndToEndIdentity:
+    @pytest.mark.parametrize("algorithm", ["pagerank", "bfs"])
+    def test_cycles_and_state_identical(self, monkeypatch, algorithm):
+        _, scalar = _run_mode(monkeypatch, algorithm, "scalar")
+        _, vector = _run_mode(monkeypatch, algorithm, "vector")
+        assert scalar == vector
+
+
+# -- Fault plans under the vector kernels ----------------------------------
+
+
+class TestFaultPlansUnderVector:
+    """MSHR-full windows and DRAM blackouts with REPRO_KERNELS=vector."""
+
+    @pytest.mark.parametrize("plan_name, engagement", [
+        ("mshr", "mshr_forced_failures"),
+        ("dram", "blackout_cycles_entered"),
+    ])
+    def test_vector_recovers_bit_identically(self, monkeypatch, plan_name,
+                                             engagement):
+        monkeypatch.setenv("REPRO_KERNELS", "vector")
+        monkeypatch.setenv("REPRO_ENGINE", "demand")
+        baseline = _small_system("bfs").run()
+        plan = getattr(FaultPlan, f"{plan_name}_plan")()
+        system = _small_system("bfs", checks=True, fault_plan=plan)
+        result = system.run()
+        assert system.fault_state.stats[engagement] > 0
+        assert (result.values == baseline.values).all()
+
+    @pytest.mark.parametrize("plan_name", ["mshr", "dram"])
+    def test_faulted_cycles_match_scalar(self, monkeypatch, plan_name):
+        """Faulted runs are cycle-identical across kernel modes too."""
+        plan_maker = getattr(FaultPlan, f"{plan_name}_plan")
+        results = {}
+        for kernels in ("scalar", "vector"):
+            monkeypatch.setenv("REPRO_KERNELS", kernels)
+            monkeypatch.setenv("REPRO_ENGINE", "demand")
+            run = _small_system("bfs", fault_plan=plan_maker()).run()
+            results[kernels] = (run.cycles, run.values.tolist())
+        assert results["scalar"] == results["vector"]
