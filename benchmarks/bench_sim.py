@@ -30,7 +30,8 @@ reports steady-state token constructions per simulated cycle (near
 zero with the freelists circulating), and a dedicated micro-benchmark
 races the same point with pooling disabled (``REPRO_POOL=0``) to
 quantify the drop.  Micro-benchmarks of ``Channel.push_many`` and the
-disabled fault/telemetry gates (<3% budget each) round out the file.
+disabled fault/telemetry/checkpoint gates (<3% budget each) round out
+the file.
 
 Usage::
 
@@ -411,6 +412,78 @@ def bench_telemetry_overhead(repeats=3):
     }
 
 
+def bench_checkpoint_overhead(repeats=3):
+    """Zero-cost-when-disabled gate for the checkpointer hook.
+
+    Same methodology as :func:`bench_checks_overhead`: with no
+    checkpointer attached the engine pays one ``is None`` gate per
+    simulated step, so the implied disabled cost is priced from the
+    micro-benchmarked gate and the step count.  A checkpointing-on run
+    (short interval, snapshots to a tmpdir) is raced alongside: its
+    cycle count must be identical -- snapshots observe, never perturb
+    -- and its wall clock plus the checkpointer's own write accounting
+    record what periodic snapshots actually cost.
+    """
+    os.environ["REPRO_ENGINE"] = "demand"
+    graph = web_graph(600, 3000, seed=9)
+    config = ArchitectureConfig(
+        _design(4, 4, MOMS_TWO_LEVEL, "bfs", n_channels=2),
+        **SCALED_DEFAULTS,
+    )
+
+    def run_once(checkpoint):
+        system = AcceleratorSystem(graph, "bfs", config,
+                                   checkpoint=checkpoint)
+        start = time.perf_counter()
+        result = system.run()
+        return system, result, time.perf_counter() - start
+
+    off_walls = []
+    for _ in range(repeats):
+        system_off, off_result, wall = run_once(checkpoint=None)
+        off_walls.append(wall)
+    snap_dir = tempfile.mkdtemp(prefix="bench-checkpoint-")
+    snap = os.path.join(snap_dir, "bench.snap")
+    on_walls = []
+    for _ in range(repeats):
+        system_on, on_result, wall = run_once(checkpoint=f"{snap}:5000")
+        on_walls.append(wall)
+    assert on_result.cycles == off_result.cycles, (
+        "enabling checkpointing changed the model: "
+        f"{on_result.cycles} != {off_result.cycles}"
+    )
+
+    checkpointer = system_on.checkpointer
+    gate_sites = system_off.engine.cycles_simulated  # one gate per step
+    gate_ns = _gate_cost_ns()
+    wall_off = min(off_walls)
+    implied = gate_sites * gate_ns * 1e-9 / wall_off
+    assert implied < 0.03, (
+        f"disabled checkpointing implies {implied * 100:.2f}% overhead "
+        f"({gate_sites} gates x {gate_ns:.1f}ns over {wall_off:.3f}s); "
+        f"budget is 3%"
+    )
+    return {
+        "point": "BFS / web_graph(600, 3000) / two-level 4x4",
+        "cycles": off_result.cycles,
+        "wall_off_s": round(wall_off, 3),
+        "wall_on_s": round(min(on_walls), 3),
+        "checkpoint_on_slowdown": round(min(on_walls) / wall_off, 3),
+        "gate_sites": gate_sites,
+        "gate_ns": round(gate_ns, 2),
+        "implied_off_overhead_pct": round(implied * 100, 4),
+        "budget_pct": 3.0,
+        "interval": 5000,
+        "snapshots_written": checkpointer.writes,
+        "snapshot_bytes": checkpointer.last_write_bytes,
+        "write_wall_s": round(checkpointer.write_seconds, 3),
+        "write_ms_each": round(
+            checkpointer.write_seconds / max(1, checkpointer.writes)
+            * 1000, 2
+        ),
+    }
+
+
 def main(argv=None):
     global _SCALE
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -493,6 +566,17 @@ def main(argv=None):
           f"over {telemetry['wall_off_s']}s); telemetry-on slowdown "
           f"{telemetry['telemetry_on_slowdown']}x")
 
+    print("checkpoint-overhead gate: implied checkpoint-off cost "
+          "vs 3% budget")
+    checkpoint = bench_checkpoint_overhead()
+    print(f"  implied {checkpoint['implied_off_overhead_pct']}% "
+          f"({checkpoint['gate_sites']} gates x {checkpoint['gate_ns']}ns "
+          f"over {checkpoint['wall_off_s']}s); checkpoint-on slowdown "
+          f"{checkpoint['checkpoint_on_slowdown']}x, "
+          f"{checkpoint['snapshots_written']} snapshots at "
+          f"{checkpoint['write_ms_each']}ms / "
+          f"{checkpoint['snapshot_bytes']} bytes each")
+
     vector_passes = [p for p in passes if p["kernels"] == "vector"]
     best_wall = min(p["wall_s"] for p in vector_passes)
     combined = baseline["wall_s"] / best_wall
@@ -519,6 +603,7 @@ def main(argv=None):
         "push_many_micro": bench_push_many(),
         "checks_overhead": checks,
         "telemetry_overhead": telemetry,
+        "checkpoint_overhead": checkpoint,
     }
     with open(args.output, "w") as fh:
         json.dump(report, fh, indent=2)

@@ -19,6 +19,13 @@ see ``repro.experiments.common.SweepPolicy``)::
 
     python -m repro fig11 --timeout 600 --retries 2 --journal fig11.jsonl
     python -m repro fig11 --journal fig11.jsonl --resume
+    python -m repro fig11 --retries 2 --checkpoint-dir snaps/ \
+        --checkpoint-interval 50000   # retries resume mid-point
+
+Checkpoint & replay (see ``repro.checkpoint``)::
+
+    python -m repro replay out/run.snap   # resume a snapshot to the end
+    python -m repro chaos --kills 3       # SIGKILL/resume bit-identity
 """
 
 import argparse
@@ -41,13 +48,26 @@ EXPERIMENTS = {
 
 
 def main(argv=None):
+    if argv is None:
+        argv = sys.argv[1:]
+    # 'chaos' owns its flag set (kills/seed/interval/...), so hand the
+    # rest of the command line to its parser before ours sees it.
+    if argv and argv[0] == "chaos":
+        from repro.checkpoint.chaos import main as chaos_main
+
+        return chaos_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Reproduce the paper's tables and figures.",
     )
     parser.add_argument(
         "experiment",
-        help="experiment key (see 'list'), 'list'/'all', or 'faultsmoke'",
+        help="experiment key (see 'list'), 'list'/'all', 'faultsmoke', "
+             "'replay', or 'chaos'",
+    )
+    parser.add_argument(
+        "target", nargs="?", default=None,
+        help="snapshot path (for the 'replay' command)",
     )
     parser.add_argument(
         "--full", action="store_true",
@@ -68,6 +88,15 @@ def main(argv=None):
     parser.add_argument(
         "--resume", action="store_true",
         help="reuse matching completed points from --journal",
+    )
+    parser.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="per-point snapshot directory; crashed or timed-out "
+             "points resume from their last snapshot on retry",
+    )
+    parser.add_argument(
+        "--checkpoint-interval", type=int, default=None, metavar="CYCLES",
+        help="snapshot cadence for --checkpoint-dir (cycles)",
     )
     parser.add_argument(
         "--report", default="faultsmoke_report.json", metavar="PATH",
@@ -100,6 +129,23 @@ def main(argv=None):
         print(f"{'trace':10s} repro.telemetry.cli")
         print(f"{'profile':10s} repro.profiling")
         print(f"{'lint':10s} repro.analysis.cli")
+        print(f"{'replay':10s} repro.checkpoint.runner")
+        print(f"{'chaos':10s} repro.checkpoint.chaos")
+        return 0
+
+    if args.experiment == "replay":
+        if not args.target:
+            parser.error("replay requires a snapshot path: "
+                         "python -m repro replay <snapshot>")
+        from repro.checkpoint import read_header, replay_snapshot
+
+        header = read_header(args.target)
+        print(f"replaying {args.target}: {header['algorithm']}/"
+              f"{header['organization']} from cycle {header['cycle']} "
+              f"({header['engine']} engine, {header['kernels']} kernels)")
+        result, _header = replay_snapshot(args.target)
+        print(f"finished at cycle {result.cycles} after "
+              f"{result.iterations} iteration(s)")
         return 0
 
     if args.experiment == "trace":
@@ -135,12 +181,15 @@ def main(argv=None):
     )
     from repro.report import component_breakdown_table, engine_summary_line
 
-    if (args.timeout is not None or args.retries or args.journal):
+    if (args.timeout is not None or args.retries or args.journal
+            or args.checkpoint_dir):
         configure_sweep(
             timeout=args.timeout,
             retries=args.retries,
             journal=args.journal,
             resume=args.resume,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_interval=args.checkpoint_interval,
         )
 
     for key in keys:

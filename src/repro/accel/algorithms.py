@@ -216,4 +216,8 @@ def get_spec(name, **kwargs):
     }
     if name not in makers:
         raise ValueError(f"unknown algorithm {name!r}")
-    return makers[name](**kwargs)
+    spec = makers[name](**kwargs)
+    # The recipe lets snapshots rebuild the spec (its hooks are
+    # closures, which do not pickle); see AlgorithmSpec.__reduce__.
+    spec.recipe = (name, dict(kwargs))
+    return spec

@@ -8,6 +8,7 @@ reports functional results plus cycle-accurate statistics converted to
 wall-clock throughput with the design's modeled frequency.
 """
 
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -73,7 +74,7 @@ class AcceleratorSystem:
     def __init__(self, graph, algorithm, config, use_hashing=True,
                  use_dbg=False, source=0, seed=0, checks=False,
                  fault_plan=None, watchdog_window=200_000,
-                 telemetry=None):
+                 telemetry=None, checkpoint=None):
         self.original_graph = graph
         if isinstance(algorithm, AlgorithmSpec):
             self.spec = algorithm
@@ -145,6 +146,23 @@ class AcceleratorSystem:
                     f"True; got {telemetry!r}"
                 )
             self.telemetry = collector.attach(self)
+
+        # Opt-in periodic checkpointing (repro.checkpoint): accepts a
+        # Checkpointer, a "path[:interval]" spec string, or nothing --
+        # in which case the REPRO_CHECKPOINT environment spec applies.
+        # Lazily imported like the other robustness hooks; disabled
+        # runs pay only the engine's "is None" gate.
+        self.checkpointer = None
+        if checkpoint is None:
+            checkpoint = os.environ.get("REPRO_CHECKPOINT", "").strip() \
+                or None
+        if checkpoint is not None:
+            from repro.checkpoint import Checkpointer
+            if isinstance(checkpoint, Checkpointer):
+                self.checkpointer = checkpoint
+            else:
+                self.checkpointer = Checkpointer.from_spec(checkpoint)
+            self.checkpointer.attach(self)
 
     # -- construction --------------------------------------------------------
 
@@ -256,37 +274,89 @@ class AcceleratorSystem:
             for s in range(part.q_src):
                 self.layout.set_active(self.mem, d, s, bool(active[s]))
 
+    # The outer run loop keeps its state in ``_run_*`` instance
+    # attributes instead of local variables so a snapshot taken
+    # mid-iteration (repro.checkpoint) captures it: Python frames do
+    # not pickle, but the attributes do, and resume_run() re-enters
+    # the loop from them.
+    _run_in_iteration = False
+
     def run(self, max_iterations=None, max_cycles_per_iteration=5_000_000):
         """Run to convergence (or the iteration budget); returns RunResult."""
         spec = self.spec
         if max_iterations is None:
             max_iterations = 10 if spec.always_active else 1_000
-        iterations = 0
-        start_cycle = self.engine.now
+        self._run_iterations = 0
+        self._run_max_iterations = max_iterations
+        self._run_budget = max_cycles_per_iteration
+        self._run_start_cycle = self.engine.now
+        self._run_iter_start = self.engine.now
+        self._run_in_iteration = False
         if self.telemetry is not None:
             self.telemetry.begin(self.engine)
-        for _ in range(max_iterations):
-            if not spec.always_active:
-                self._update_active_flags()
-            queued = self.scheduler.start_iteration(spec.always_active)
-            if queued == 0:
-                break
-            iterations += 1
+        return self._drive(resume=False)
+
+    def resume_run(self):
+        """Continue a snapshot-restored run to completion.
+
+        Only valid on a system restored mid-run by
+        :func:`repro.checkpoint.restore_system`; the interrupted
+        iteration finishes first (with the remaining slice of its cycle
+        budget), then the outer loop proceeds as if never interrupted.
+        The returned RunResult is bit-identical to the uninterrupted
+        run's.
+        """
+        if not self._run_in_iteration:
+            raise RuntimeError(
+                "resume_run() needs a run interrupted mid-iteration; "
+                "this system has none (snapshots are only written "
+                "inside engine.run, so any loaded snapshot has one)"
+            )
+        return self._drive(resume=True)
+
+    def _drive(self, resume):
+        spec = self.spec
+        while True:
+            if resume:
+                resume = False
+                engine_resume = True  # finish the interrupted iteration
+            else:
+                if self._run_iterations >= self._run_max_iterations:
+                    break
+                if not spec.always_active:
+                    self._update_active_flags()
+                queued = self.scheduler.start_iteration(spec.always_active)
+                if queued == 0:
+                    break
+                self._run_iterations += 1
+                self._run_iter_start = self.engine.now
+                self._run_in_iteration = True
+                engine_resume = False
             # raise_on_limit: a busted budget raises CycleLimitError
             # with the activity counters and a stall report attached.
+            # A resumed iteration gets only the unused remainder of its
+            # budget, so interrupting cannot extend the allowance.
             self.engine.run(
                 done=self._iteration_done,
-                max_cycles=max_cycles_per_iteration,
+                max_cycles=self._run_budget
+                - (self.engine.now - self._run_iter_start),
                 raise_on_limit=True,
+                resume=engine_resume,
             )
+            self._run_in_iteration = False
             if self.ledger is not None:
-                self._check_iteration_drained(iterations)
+                self._check_iteration_drained(self._run_iterations)
             work_remains = self.scheduler.finish_iteration()
             if spec.synchronous:
                 self.layout.swap_in_out()
             if not spec.always_active and not work_remains:
                 break
-        cycles = self.engine.now - start_cycle
+        return self._finish_run()
+
+    def _finish_run(self):
+        spec = self.spec
+        iterations = self._run_iterations
+        cycles = self.engine.now - self._run_start_cycle
         if self.telemetry is not None:
             self.telemetry.finalize(self.engine)
         words = self.layout.read_values(self.mem, "in")

@@ -16,6 +16,7 @@ software reference executor (:mod:`repro.baselines.reference`), so
 functional equivalence is checked end to end.
 """
 
+import pickle
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -56,6 +57,26 @@ class AlgorithmSpec:
     apply_enc_vec: Optional[Callable] = None
     """(bram float64, const float64, base scalar) -> uint32 DRAM words."""
 
+    # Rebuild recipe for serialization: ``(name, kwargs)`` resolvable by
+    # :func:`repro.accel.algorithms.get_spec`.  The functional hooks are
+    # closures and lambdas, which do not pickle, so snapshots store the
+    # recipe and rebuild the spec on load instead (the factories are
+    # deterministic, so the rebuilt hooks are behaviourally identical).
+    # ``get_spec`` fills this in; hand-built specs stay unpicklable and
+    # get a clear error at snapshot time.
+    recipe: Optional[tuple] = None
+
+    def __reduce__(self):
+        if not self.recipe:
+            raise pickle.PicklingError(
+                f"AlgorithmSpec {self.name!r} carries closure hooks and no "
+                f"rebuild recipe; build it via "
+                f"repro.accel.algorithms.get_spec (or set spec.recipe to "
+                f"(name, kwargs)) to make it snapshot-safe"
+            )
+        name, kwargs = self.recipe
+        return (_rebuild_spec, (name, tuple(sorted(kwargs.items()))))
+
     def initial_dram_image(self, graph, **kwargs):
         """V_DRAM,in as a uint32 array (raw bits)."""
         values = self.initial_values(graph, **kwargs)
@@ -73,6 +94,13 @@ class AlgorithmSpec:
 
     def const_scalar(self, graph):
         return self.global_const(graph) if self.global_const else 0.0
+
+
+def _rebuild_spec(name, items):
+    """Unpickle helper: rebuild a spec from its ``get_spec`` recipe."""
+    from repro.accel.algorithms import get_spec
+
+    return get_spec(name, **dict(items))
 
 
 def updated_flag(spec, old_bram, new_bram):

@@ -1,0 +1,55 @@
+"""Checkpoint/restore, deterministic replay, and chaos tooling.
+
+Public surface:
+
+* :func:`save_snapshot` / :func:`load_snapshot` / :func:`read_header`
+  -- the versioned, checksummed snapshot container.
+* :class:`Checkpointer` -- engine hook writing periodic snapshots
+  (``REPRO_CHECKPOINT="path[:interval]"``).
+* :func:`restore_system` / :func:`replay_snapshot` -- bring a snapshot
+  back mid-iteration and run it to completion.
+* :func:`audit_system` / :data:`SNAPSHOT_REGISTRY` -- the Snapshot
+  protocol inventory (see :mod:`repro.checkpoint.protocol`).
+* :func:`run_chaos` -- the SIGKILL/resume harness
+  (``python -m repro chaos``).
+"""
+
+from repro.checkpoint.protocol import (
+    SNAPSHOT_REGISTRY,
+    SnapshotAuditError,
+    audit_system,
+    ensure_registry,
+    register,
+)
+from repro.checkpoint.runner import (
+    DEFAULT_INTERVAL,
+    Checkpointer,
+    replay_snapshot,
+    restore_system,
+)
+from repro.checkpoint.snapshot import (
+    SNAPSHOT_FORMAT,
+    SNAPSHOT_MAGIC,
+    SnapshotError,
+    load_snapshot,
+    read_header,
+    save_snapshot,
+)
+
+__all__ = [
+    "SNAPSHOT_REGISTRY",
+    "SNAPSHOT_FORMAT",
+    "SNAPSHOT_MAGIC",
+    "SnapshotAuditError",
+    "SnapshotError",
+    "Checkpointer",
+    "DEFAULT_INTERVAL",
+    "audit_system",
+    "ensure_registry",
+    "load_snapshot",
+    "read_header",
+    "register",
+    "replay_snapshot",
+    "restore_system",
+    "save_snapshot",
+]

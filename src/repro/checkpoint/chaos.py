@@ -1,0 +1,255 @@
+"""Chaos-resume harness: SIGKILL a run mid-flight, resume, compare.
+
+The harness proves the checkpoint/restore path end to end under the
+ugliest failure mode we can inject -- an uncatchable ``SIGKILL``
+delivered at an exact, seeded simulation cycle (via the checkpointer's
+``REPRO_CHAOS_KILL_AT`` hook).  For each kill:
+
+1. a child process runs the workload with periodic checkpointing and
+   dies at the kill cycle (no atexit handlers, no flushing -- exactly
+   like an OOM kill);
+2. a second child resumes from the last atomic snapshot and runs to
+   completion;
+3. the resumed result must be **bit-identical** to an uninterrupted
+   baseline: final cycle count, iteration count, a sha256 over the
+   result values, and a sha256 over the canonical stats JSON.
+
+Workloads run in child processes (not in-process) so the kill is a
+real process death and the resume is a real cold start in a fresh
+interpreter.  Child/parent speak through a tiny env + JSON-file
+protocol (`_child_main`); everything is seeded and deterministic.
+
+CLI: ``python -m repro chaos [--kills N] [--seed S] ...``.
+"""
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+_MASK64 = (1 << 64) - 1
+
+
+def _mix(state):
+    """splitmix64 step -- the repo's standard deterministic chain."""
+    state = (state + 0x9E3779B97F4A7C15) & _MASK64
+    z = state
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return state, z ^ (z >> 31)
+
+
+def _child_main():
+    """Entry point for chaos worker processes.
+
+    Reads its workload from ``CHAOS_*`` env vars, runs (or resumes) it,
+    and writes a result-fingerprint JSON to ``CHAOS_RESULT``.  The
+    checkpointer configures itself from ``REPRO_CHECKPOINT`` /
+    ``REPRO_CHAOS_KILL_AT`` as in any other run.
+    """
+    import numpy as np
+
+    from repro.accel.config import ArchitectureConfig, SCALED_DEFAULTS, _design
+    from repro.accel.system import AcceleratorSystem
+    from repro.graph import web_graph
+
+    algorithm = os.environ.get("CHAOS_ALGO", "pagerank")
+    organization = os.environ.get("CHAOS_ORG", "shared")
+    nodes = int(os.environ.get("CHAOS_NODES", "900"))
+    edges = int(os.environ.get("CHAOS_EDGES", "4500"))
+    seed = int(os.environ.get("CHAOS_GRAPH_SEED", "7"))
+    max_iterations = int(os.environ.get("CHAOS_MAX_ITERS", "3"))
+    result_path = os.environ["CHAOS_RESULT"]
+
+    resume_from = os.environ.get("CHAOS_RESUME", "")
+    if resume_from and os.path.exists(resume_from):
+        from repro.checkpoint import restore_system
+
+        system, _ = restore_system(resume_from)
+        result = system.resume_run()
+    else:
+        graph = web_graph(nodes, edges, seed=seed)
+        config = ArchitectureConfig(
+            _design(4, 4, organization, algorithm, n_channels=2,
+                    private_cache_kib=64),
+            **SCALED_DEFAULTS,
+        )
+        system = AcceleratorSystem(graph, algorithm, config)
+        result = system.run(max_iterations=max_iterations)
+
+    fingerprint = {
+        "cycles": int(result.cycles),
+        "iterations": int(result.iterations),
+        "values_sha256": hashlib.sha256(
+            np.ascontiguousarray(result.values).tobytes()
+        ).hexdigest(),
+        "stats_sha256": hashlib.sha256(
+            json.dumps(result.stats, sort_keys=True, default=str)
+            .encode("utf-8")
+        ).hexdigest(),
+    }
+    with open(result_path, "w", encoding="utf-8") as fh:
+        json.dump(fingerprint, fh)
+
+
+_CHILD_CMD = (sys.executable, "-c",
+              "from repro.checkpoint.chaos import _child_main; _child_main()")
+
+
+def _run_child(env, timeout):
+    return subprocess.run(
+        _CHILD_CMD, env=env, timeout=timeout,
+        stdout=subprocess.DEVNULL, stderr=subprocess.PIPE,
+    )
+
+
+def _read_result(path):
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def run_chaos(algorithm="pagerank", organization="shared", kills=3,
+              seed=2021, interval=2000, workdir=None, timeout=600,
+              log=None):
+    """Kill/resume *kills* times; returns the report dict.
+
+    ``report["failures"]`` is empty iff every resumed run matched the
+    uninterrupted baseline bit for bit.  Artifacts (snapshots, result
+    fingerprints, the report) live under ``workdir`` for CI upload.
+    """
+    say = log or (lambda message: None)
+    workdir = workdir or tempfile.mkdtemp(prefix="chaos-")
+    os.makedirs(workdir, exist_ok=True)
+
+    base_env = os.environ.copy()
+    for key in ("REPRO_CHECKPOINT", "REPRO_CHAOS_KILL_AT", "CHAOS_RESUME"):
+        base_env.pop(key, None)
+    base_env.update(CHAOS_ALGO=algorithm, CHAOS_ORG=organization)
+
+    say(f"[chaos] baseline: {algorithm}/{organization}")
+    baseline_path = os.path.join(workdir, "baseline.json")
+    env = dict(base_env, CHAOS_RESULT=baseline_path)
+    proc = _run_child(env, timeout)
+    if proc.returncode != 0:
+        raise RuntimeError(
+            f"chaos baseline run failed (rc={proc.returncode}): "
+            f"{proc.stderr.decode(errors='replace')[-2000:]}"
+        )
+    baseline = _read_result(baseline_path)
+    say(f"[chaos] baseline cycles={baseline['cycles']} "
+        f"iterations={baseline['iterations']}")
+
+    # Seeded kill cycles in [interval + 1, 90% of the baseline run]:
+    # late enough that at least one snapshot exists, early enough that
+    # real work remains after the kill.
+    span = max(1, int(baseline["cycles"] * 0.9) - interval - 1)
+    state = (seed ^ 0xC8A9_0125) & _MASK64 or 1
+    report = {
+        "algorithm": algorithm,
+        "organization": organization,
+        "interval": interval,
+        "seed": seed,
+        "baseline": baseline,
+        "kills": [],
+        "failures": [],
+    }
+
+    for ordinal in range(kills):
+        state, draw = _mix(state)
+        kill_cycle = interval + 1 + draw % span
+        snap = os.path.join(workdir, f"kill{ordinal}.snap")
+        marker = os.path.join(workdir, f"kill{ordinal}.marker")
+        result_path = os.path.join(workdir, f"kill{ordinal}.json")
+        env = dict(
+            base_env,
+            CHAOS_RESULT=result_path,
+            REPRO_CHECKPOINT=f"{snap}:{interval}",
+            REPRO_CHAOS_KILL_AT=f"{kill_cycle}:{marker}",
+        )
+        say(f"[chaos] kill {ordinal}: SIGKILL at cycle {kill_cycle}")
+        proc = _run_child(env, timeout)
+        killed = proc.returncode != 0
+        entry = {"kill_cycle": kill_cycle, "killed": killed,
+                 "returncode": proc.returncode}
+        if killed and not os.path.exists(marker):
+            report["failures"].append(
+                f"kill {ordinal}: child died (rc={proc.returncode}) but "
+                f"not by the chaos hook: "
+                f"{proc.stderr.decode(errors='replace')[-2000:]}"
+            )
+            report["kills"].append(entry)
+            continue
+        if killed:
+            if not os.path.exists(snap):
+                report["failures"].append(
+                    f"kill {ordinal}: killed at cycle {kill_cycle} with "
+                    f"no snapshot on disk (interval {interval})"
+                )
+                report["kills"].append(entry)
+                continue
+            from repro.checkpoint import read_header
+
+            entry["resumed_from_cycle"] = read_header(snap)["cycle"]
+            say(f"[chaos] kill {ordinal}: resuming from cycle "
+                f"{entry['resumed_from_cycle']}")
+            env = dict(env, CHAOS_RESUME=snap)
+            proc = _run_child(env, timeout)
+            if proc.returncode != 0:
+                report["failures"].append(
+                    f"kill {ordinal}: resume failed "
+                    f"(rc={proc.returncode}): "
+                    f"{proc.stderr.decode(errors='replace')[-2000:]}"
+                )
+                report["kills"].append(entry)
+                continue
+        resumed = _read_result(result_path)
+        entry["result"] = resumed
+        entry["match"] = resumed == baseline
+        if not entry["match"]:
+            report["failures"].append(
+                f"kill {ordinal}: resumed result diverged from the "
+                f"uninterrupted baseline: {resumed} != {baseline}"
+            )
+        report["kills"].append(entry)
+
+    report_path = os.path.join(workdir, "chaos_report.json")
+    with open(report_path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+    report["report_path"] = report_path
+    say(f"[chaos] {kills - len(report['failures'])}/{kills} resumes "
+        f"bit-identical; report at {report_path}")
+    return report
+
+
+def main(argv=None):
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos",
+        description="SIGKILL runs at seeded cycles and verify that "
+                    "resume-from-snapshot is bit-identical to an "
+                    "uninterrupted run.",
+    )
+    parser.add_argument("--algorithm", default="pagerank")
+    parser.add_argument("--organization", default="shared")
+    parser.add_argument("--kills", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=2021)
+    parser.add_argument("--interval", type=int, default=2000)
+    parser.add_argument("--workdir", default=None,
+                        help="artifact directory (default: a fresh tmpdir)")
+    args = parser.parse_args(argv)
+
+    report = run_chaos(
+        algorithm=args.algorithm, organization=args.organization,
+        kills=args.kills, seed=args.seed, interval=args.interval,
+        workdir=args.workdir, log=print,
+    )
+    for failure in report["failures"]:
+        print(f"[chaos] FAIL: {failure}", file=sys.stderr)
+    return 1 if report["failures"] else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

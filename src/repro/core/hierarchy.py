@@ -34,6 +34,15 @@ from repro.mem.dram import LINE_BYTES, _acquire_request
 from repro.sim import Channel, SoaChannel
 
 
+def _route_by_port(response):
+    """Response-crossbar route: back to the requesting PE's port.
+
+    A module-level function (not a lambda) so crossbars pickle into
+    snapshots; see ``repro.checkpoint.protocol``.
+    """
+    return response.port
+
+
 class DramDownstream:
     """Issues single 64-byte line reads to the owning DRAM channel."""
 
@@ -207,6 +216,14 @@ class MemoryHierarchy:
         banks_per_channel = n_banks // n_channels
         return channel * banks_per_channel + line_addr % banks_per_channel
 
+    # Crossbar route hooks as named callables (a bound method and a
+    # module function) rather than inline lambdas: snapshots pickle the
+    # whole system, and lambdas do not pickle.
+
+    def route_request(self, request):
+        """Request-crossbar route: by the line address's owning bank."""
+        return self.bank_of_line(request.addr // LINE_BYTES)
+
     def _make_dram_ports(self, engine, n_clients, client_dies,
                          client_channels=None):
         """Per-DRAM-channel arbitrated request ports for *n_clients*.
@@ -328,7 +345,7 @@ class MemoryHierarchy:
         req_xbar = Crossbar(
             xbar_req_inputs,
             bank_req_ins,
-            route=lambda r: self.bank_of_line(r.addr // LINE_BYTES),
+            route=self.route_request,
             name="moms.reqxbar",
         )
         engine.add_component(req_xbar)
@@ -345,7 +362,7 @@ class MemoryHierarchy:
         resp_xbar = Crossbar(
             bank_resp_outs,
             xbar_resp_outputs,
-            route=lambda r: r.port,
+            route=_route_by_port,
             name="moms.respxbar",
         )
         engine.add_component(resp_xbar)
@@ -432,7 +449,7 @@ class MemoryHierarchy:
         req_xbar = Crossbar(
             l1_req_outs,
             bank_req_ins,
-            route=lambda r: self.bank_of_line(r.addr // LINE_BYTES),
+            route=self.route_request,
             name="l2.reqxbar",
         )
         engine.add_component(req_xbar)
@@ -441,7 +458,7 @@ class MemoryHierarchy:
         resp_xbar = Crossbar(
             bank_resp_outs,
             [bank._fill_port for bank in self.private_banks],
-            route=lambda r: r.port,
+            route=_route_by_port,
             name="l2.respxbar",
         )
         engine.add_component(resp_xbar)

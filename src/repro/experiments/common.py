@@ -15,6 +15,7 @@ import json
 import os
 import pickle
 import time
+import warnings
 from collections import deque
 from dataclasses import dataclass, field
 
@@ -80,7 +81,26 @@ def telemetry_from_env():
 
 def run_point(graph, algorithm, config, quick=True, use_hashing=True,
               use_dbg=False, source=0, telemetry=None):
-    """One (graph, algorithm, architecture) measurement."""
+    """One (graph, algorithm, architecture) measurement.
+
+    When ``REPRO_RESUME`` names an existing snapshot (the hardened
+    sweep runner sets it on retry attempts), the point resumes from
+    that snapshot instead of starting over -- the snapshot path is
+    keyed by the point's fingerprint, so it can only ever hold this
+    exact point's state.  A ``<snapshot>.resumed`` sentinel records
+    that the resume path ran (results are bit-identical either way, so
+    the sentinel is the only observable difference).
+    """
+    resume_from = os.environ.get("REPRO_RESUME", "").strip()
+    if resume_from and os.path.exists(resume_from):
+        from repro.checkpoint import restore_system
+
+        system, header = restore_system(resume_from)
+        result = system.resume_run()
+        with open(resume_from + ".resumed", "w", encoding="utf-8") as fh:
+            json.dump({"from_cycle": header["cycle"],
+                       "final_cycles": result.cycles}, fh)
+        return system, result
     if telemetry is None:
         telemetry = telemetry_from_env()
     system = AcceleratorSystem(
@@ -131,6 +151,11 @@ class SweepPolicy:
       that were in flight.
     * ``resume`` -- reuse journal entries whose fingerprint matches
       instead of re-running those points.
+    * ``checkpoint_dir`` -- directory of per-point snapshots (keyed by
+      point fingerprint); a timed-out or crashed point's retry resumes
+      from its last snapshot instead of starting over.
+    * ``checkpoint_interval`` -- snapshot cadence in cycles (default:
+      :data:`repro.checkpoint.DEFAULT_INTERVAL`).
     """
 
     timeout: float = None
@@ -138,22 +163,28 @@ class SweepPolicy:
     backoff: float = 1.0
     journal: str = None
     resume: bool = False
+    checkpoint_dir: str = None
+    checkpoint_interval: int = None
 
     @property
     def active(self):
         return (self.timeout is not None or self.retries > 0
-                or self.journal is not None)
+                or self.journal is not None
+                or self.checkpoint_dir is not None)
 
 
 _POLICY = SweepPolicy()
 
 
 def configure_sweep(timeout=None, retries=0, backoff=1.0, journal=None,
-                    resume=False):
+                    resume=False, checkpoint_dir=None,
+                    checkpoint_interval=None):
     """Install the process-wide sweep policy (see :class:`SweepPolicy`)."""
     global _POLICY
     _POLICY = SweepPolicy(timeout=timeout, retries=retries, backoff=backoff,
-                          journal=journal, resume=resume)
+                          journal=journal, resume=resume,
+                          checkpoint_dir=checkpoint_dir,
+                          checkpoint_interval=checkpoint_interval)
     return _POLICY
 
 
@@ -220,22 +251,45 @@ def _load_journal(path):
     except FileNotFoundError:
         return entries
     with handle:
-        for line in handle:
+        for lineno, line in enumerate(handle, start=1):
             line = line.strip()
             if not line:
                 continue
             try:
                 record = json.loads(line)
             except ValueError:
+                # The signature of a sweep killed mid-append.  The
+                # record is unusable (its point re-runs), but resume
+                # must say so rather than silently shrink the cache.
+                warnings.warn(
+                    f"{path}:{lineno}: skipping unparseable journal "
+                    f"record (sweep killed mid-write?); the point will "
+                    f"be re-run",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
                 continue
             if record.get("status") == "ok" and "payload" in record:
                 entries[record.get("fingerprint")] = record
     return entries
 
 
-def _sweep_child(worker, point, conn):
-    """Sandbox-process entry: run one point, ship the outcome back."""
+def _sweep_child(worker, point, conn, checkpoint=None, resume=False):
+    """Sandbox-process entry: run one point, ship the outcome back.
+
+    ``checkpoint`` is a ``(snapshot_path, interval)`` pair: the child
+    exports it as ``REPRO_CHECKPOINT`` so the point's system checkpoints
+    itself, and -- on a retry attempt with a snapshot on disk -- as
+    ``REPRO_RESUME`` so :func:`run_point` continues from the snapshot
+    instead of starting over.  Env mutation happens only here, in the
+    forked child, never in the sweep coordinator.
+    """
     try:
+        if checkpoint is not None:
+            snapshot_path, interval = checkpoint
+            os.environ["REPRO_CHECKPOINT"] = f"{snapshot_path}:{interval}"
+            if resume and os.path.exists(snapshot_path):
+                os.environ["REPRO_RESUME"] = snapshot_path
         result = worker(point)
         conn.send(("ok", result))
     except BaseException as error:  # noqa: BLE001 - isolate everything
@@ -282,6 +336,21 @@ def _run_points_hardened(worker, points, jobs, policy):
                     results[index] = payload
                     done[index] = True
         journal_handle = open(policy.journal, "a", encoding="utf-8")
+    checkpoint_interval = policy.checkpoint_interval
+    if policy.checkpoint_dir:
+        os.makedirs(policy.checkpoint_dir, exist_ok=True)
+        if checkpoint_interval is None:
+            from repro.checkpoint import DEFAULT_INTERVAL
+
+            checkpoint_interval = DEFAULT_INTERVAL
+
+    def point_checkpoint(index):
+        if not policy.checkpoint_dir:
+            return None
+        snapshot_path = os.path.join(
+            policy.checkpoint_dir, _fingerprint(points[index]) + ".snap"
+        )
+        return (snapshot_path, checkpoint_interval)
 
     def journal_write(record):
         if journal_handle is not None:
@@ -344,7 +413,8 @@ def _run_points_hardened(worker, points, jobs, policy):
                 parent_conn, child_conn = ctx.Pipe(duplex=False)
                 process = ctx.Process(
                     target=_sweep_child,
-                    args=(worker, points[index], child_conn),
+                    args=(worker, points[index], child_conn,
+                          point_checkpoint(index), attempt > 1),
                 )
                 process.start()
                 child_conn.close()

@@ -73,9 +73,18 @@ def build_stall_report(engine, reason=""):
             "pending": source.pending,
             "next_event": source.next_event_time(),
         })
+    checkpoint = None
+    checkpointer = getattr(engine, "checkpointer", None)
+    if checkpointer is not None and checkpointer.last_path is not None:
+        checkpoint = {
+            "path": checkpointer.last_path,
+            "cycle": checkpointer.last_cycle,
+            "replay": checkpointer.replay_command(),
+        }
     return {
         "reason": reason,
         "cycle": engine.now,
+        "checkpoint": checkpoint,
         "cycles_simulated": engine.cycles_simulated,
         "component_ticks": engine.component_ticks,
         "component_breakdown": [
@@ -149,4 +158,11 @@ def format_stall_report(report):
             )
     if len(lines) == 1:
         lines.append("  (no stuck channels, busy components, or timers)")
+    checkpoint = report.get("checkpoint")
+    if checkpoint:
+        lines.append(
+            f"  last checkpoint: {checkpoint['path']} "
+            f"(cycle {checkpoint['cycle']})"
+        )
+        lines.append(f"  replay up to this failure: {checkpoint['replay']}")
     return "\n".join(lines)

@@ -82,7 +82,11 @@ def run_fault_smoke(algorithms=("bfs", "scc"), report_path=None, log=print):
                 reports.append(_extract_report(error))
                 continue
             stats = system.fault_state.stats
-            if not any(stats[key] for key in _ENGAGEMENT[plan_name]):
+            engagement = {
+                key: stats[key] for key in _ENGAGEMENT[plan_name]
+            }
+            triggered = any(engagement.values())
+            if not triggered:
                 failures.append(
                     f"{algorithm}/{plan_name}: no fault engaged "
                     f"(vacuous pass): {stats}"
@@ -97,6 +101,8 @@ def run_fault_smoke(algorithms=("bfs", "scc"), report_path=None, log=print):
                 "plan": plan_name,
                 "cycles": result.cycles,
                 "baseline_cycles": baseline.cycles,
+                "triggered": triggered,
+                "engagement": engagement,
                 "fault_stats": dict(stats),
             })
 
@@ -117,9 +123,19 @@ def run_fault_smoke(algorithms=("bfs", "scc"), report_path=None, log=print):
             "ledger (checks are decorative)"
         )
     runs.append({"algorithm": "bfs", "plan": "mutation",
+                 "triggered": caught is not None,
                  "caught": caught is not None})
 
-    summary = {"runs": runs, "failures": failures}
+    # Untriggered plans are first-class evidence, not just a failure
+    # string: harnesses (and the smoke test) assert on this list so a
+    # plan that silently stopped engaging cannot pass vacuously.
+    untriggered = [
+        f"{run['algorithm']}/{run['plan']}"
+        for run in runs
+        if run["plan"] is not None and not run.get("triggered")
+    ]
+    summary = {"runs": runs, "failures": failures,
+               "untriggered": untriggered}
     if report_path is not None and (failures or reports):
         with open(report_path, "w", encoding="utf-8") as handle:
             json.dump(

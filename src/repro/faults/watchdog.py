@@ -22,12 +22,16 @@ class WatchdogError(RuntimeError):
     """No token moved for a full watchdog window while work remained.
 
     ``report`` holds the structured stall report (see
-    :func:`repro.faults.report.build_stall_report`).
+    :func:`repro.faults.report.build_stall_report`); ``checkpoint`` is
+    its last-checkpoint block (path, cycle, ready-to-run replay
+    command) or ``None`` when the run was not checkpointing -- so a
+    harness catching the error can point straight at a reproducer.
     """
 
     def __init__(self, message, report):
         super().__init__(message)
         self.report = report
+        self.checkpoint = (report or {}).get("checkpoint")
 
 
 class Watchdog:

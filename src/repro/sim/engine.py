@@ -119,6 +119,13 @@ class Engine:
     # step only; fast-forwarded idle windows hold no state changes, so
     # the skipped rows would have duplicated the previous one.
     sampler = None
+    # Optional periodic checkpointer (repro.checkpoint.Checkpointer):
+    # same hook contract again -- exposes ``next_checkpoint`` and
+    # ``poll(engine)``, costs one "is None" test per step when unset.
+    # Polled *last* among the hooks so a snapshot captures the step's
+    # watchdog/sampler effects: a run resumed from the snapshot then
+    # continues exactly where the uninterrupted run's loop would.
+    checkpointer = None
 
     def __init__(self):
         self.now = 0
@@ -309,7 +316,8 @@ class Engine:
 
     # -- the run loop -------------------------------------------------------
 
-    def run(self, done=None, max_cycles=None, raise_on_limit=False):
+    def run(self, done=None, max_cycles=None, raise_on_limit=False,
+            resume=False):
         """Run until *done()* is true (or until globally idle).
 
         Returns the number of cycles elapsed during this call.  When no
@@ -322,18 +330,27 @@ class Engine:
         that), but with ``raise_on_limit=True`` it raises
         :class:`CycleLimitError` carrying the activity counters and a
         stall report so a busted budget is diagnosable.
+
+        ``resume=True`` continues a run() call that was interrupted
+        mid-flight and restored from a snapshot: the entry wake-all and
+        the watchdog baseline reset are skipped, because the restored
+        ``_wake_next``/``_timers``/watchdog state already encode them --
+        re-applying either would perturb the wake counters (reported in
+        run stats) away from the uninterrupted run.
         """
         start = self.now
-        # Callers mutate component state between run() calls (queueing
-        # jobs, rewriting memory images); give every demand-driven
-        # component one cycle to notice.
-        for component in self._demand_components:
-            self.wake(component)
+        if not resume:
+            # Callers mutate component state between run() calls
+            # (queueing jobs, rewriting memory images); give every
+            # demand-driven component one cycle to notice.
+            for component in self._demand_components:
+                self.wake(component)
         legacy = bool(self._always)
         watchdog = self.watchdog
-        if watchdog is not None:
+        if watchdog is not None and not resume:
             watchdog.begin(self)
         sampler = self.sampler
+        checkpointer = self.checkpointer
         while True:
             if done is not None and done():
                 break
@@ -361,6 +378,9 @@ class Engine:
                 watchdog.check(self)
             if sampler is not None and self.now >= sampler.next_sample:
                 sampler.sample(self)
+            if checkpointer is not None \
+                    and self.now >= checkpointer.next_checkpoint:
+                checkpointer.poll(self)
             if legacy and not self._active:
                 next_time = self._scan_next_event_time()
                 if next_time is not None and next_time > self.now:

@@ -1,0 +1,29 @@
+"""Chaos harness: a real SIGKILL mid-run, then resume-equals-baseline."""
+
+import os
+
+import pytest
+
+from repro.checkpoint.chaos import run_chaos
+
+
+@pytest.mark.parametrize("kills", [1])
+def test_chaos_kill_and_resume_bit_identical(kills, tmp_path, monkeypatch):
+    # Shrink the chaos workload (the child reads these): the default CI
+    # shape would work too, just slower.
+    monkeypatch.setenv("CHAOS_NODES", "500")
+    monkeypatch.setenv("CHAOS_EDGES", "2500")
+    monkeypatch.setenv("CHAOS_MAX_ITERS", "2")
+    report = run_chaos(kills=kills, interval=1500, seed=11,
+                       workdir=str(tmp_path))
+    assert report["failures"] == []
+    assert len(report["kills"]) == kills
+    for entry in report["kills"]:
+        # The child must have died by the chaos SIGKILL (not completed
+        # before the kill cycle) and resumed from a real snapshot.
+        assert entry["killed"], entry
+        assert entry["returncode"] == -9
+        assert 0 < entry["resumed_from_cycle"] < entry["kill_cycle"] + 1
+        assert entry["match"], entry
+        assert entry["result"] == report["baseline"]
+    assert os.path.exists(report["report_path"])

@@ -1,8 +1,10 @@
 """Hardened sweep runner: validation, crash isolation, journal resume."""
 
+import hashlib
 import json
 import os
 
+import numpy as np
 import pytest
 
 from repro.accel.config import ArchitectureConfig, SCALED_DEFAULTS, _design
@@ -10,10 +12,13 @@ from repro.experiments.common import (
     SweepFailure,
     SweepPoint,
     SweepPolicy,
+    _fingerprint,
     _load_journal,
+    run_point,
     run_points,
 )
 from repro.fabric.design import MOMS_TWO_LEVEL
+from repro.graph import web_graph
 
 
 def _config(algorithm="bfs"):
@@ -149,8 +154,34 @@ class TestHardenedRunner:
         run_points(_double, [1, 2], jobs=2, policy=policy)
         with open(journal, "a", encoding="utf-8") as handle:
             handle.write('{"index": 99, "status": "ok", "payl')  # cut off
-        entries = _load_journal(journal)
+        with pytest.warns(RuntimeWarning, match="unparseable journal"):
+            entries = _load_journal(journal)
         assert len(entries) == 2
+
+    def test_resume_warns_on_mid_record_truncation(self, tmp_path):
+        """A sweep SIGKILLed mid-append leaves a partial trailing JSONL
+        record; --resume must skip it with a warning naming the line,
+        keep every complete record, and re-run the lost point."""
+        journal = str(tmp_path / "midcut.jsonl")
+        run_points(_double, [1, 2, 3], jobs=1,
+                   policy=SweepPolicy(journal=journal))
+        with open(journal, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        assert len(lines) == 3
+        # Cut the last record in half, mid-payload -- exactly what a
+        # kill during the final write leaves behind.
+        truncated = lines[2][: len(lines[2]) // 2]
+        with open(journal, "w", encoding="utf-8") as handle:
+            handle.writelines(lines[:2] + [truncated])
+        with pytest.warns(RuntimeWarning, match=r"midcut\.jsonl:3"):
+            entries = _load_journal(journal)
+        assert len(entries) == 2
+        # Resume re-runs only the point whose record was lost.
+        results = run_points(
+            _double, [1, 2, 3], jobs=1,
+            policy=SweepPolicy(journal=journal, resume=True),
+        )
+        assert results == [2, 4, 6]
 
     def test_journal_records_are_json_lines(self, tmp_path):
         journal = str(tmp_path / "fmt.jsonl")
@@ -160,3 +191,62 @@ class TestHardenedRunner:
         assert lines[0]["status"] == "ok"
         assert lines[0]["index"] == 0
         assert "fingerprint" in lines[0] and "payload" in lines[0]
+
+
+# Simulation worker for the checkpoint/kill tests: a real sweep point
+# (module level so the forked child can run it) whose result is a
+# fingerprintable plain dict.
+
+_KILL_GRAPH = (600, 3000, 7)
+
+
+def _sim_algorithm(algorithm):
+    graph = web_graph(*_KILL_GRAPH[:2], seed=_KILL_GRAPH[2])
+    _system, result = run_point(graph, algorithm, _config(algorithm),
+                                quick=True)
+    return {
+        "algorithm": algorithm,
+        "cycles": result.cycles,
+        "iterations": result.iterations,
+        "values_sha": hashlib.sha256(
+            np.ascontiguousarray(result.values).tobytes()
+        ).hexdigest(),
+    }
+
+
+class TestCheckpointedSweep:
+    """Satellite of the checkpoint/replay work: a SIGKILLed sweep
+    worker resumes mid-point from its snapshot on retry, and the
+    resumed sweep's rows are identical to an uninterrupted sweep."""
+
+    ALGORITHMS = ["pagerank", "bfs", "sssp", "scc"]
+
+    def test_sigkill_mid_point_resumes_identical(self, tmp_path,
+                                                 monkeypatch):
+        monkeypatch.setenv("REPRO_ENGINE", "demand")
+        # Uninterrupted reference rows (fast path, in-process).
+        expected = [_sim_algorithm(a) for a in self.ALGORITHMS]
+
+        # Chaos hook: the first worker to reach cycle 6000 takes a real
+        # SIGKILL (the marker makes it one-shot, so with jobs=1 exactly
+        # the first point dies; later points see the marker and disarm).
+        marker = str(tmp_path / "kill.marker")
+        monkeypatch.setenv("REPRO_CHAOS_KILL_AT", f"6000:{marker}")
+        checkpoint_dir = str(tmp_path / "snaps")
+        policy = SweepPolicy(retries=1, backoff=0.01,
+                             checkpoint_dir=checkpoint_dir,
+                             checkpoint_interval=2000)
+        results = run_points(_sim_algorithm, self.ALGORITHMS, jobs=1,
+                             policy=policy)
+        assert results == expected
+        assert os.path.exists(marker)  # the kill really fired
+
+        # The killed point's retry went through the resume path: its
+        # snapshot carries the .resumed sentinel written by run_point.
+        snap = os.path.join(
+            checkpoint_dir, _fingerprint(self.ALGORITHMS[0]) + ".snap"
+        )
+        assert os.path.exists(snap)
+        sentinel = json.load(open(snap + ".resumed"))
+        assert 0 < sentinel["from_cycle"] < sentinel["final_cycles"]
+        assert sentinel["final_cycles"] == expected[0]["cycles"]
