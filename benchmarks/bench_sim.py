@@ -484,6 +484,89 @@ def bench_checkpoint_overhead(repeats=3):
     }
 
 
+def bench_tracing_overhead(repeats=3):
+    """Zero-cost-when-disabled gate for the span-tracer hooks.
+
+    Same methodology as :func:`bench_checks_overhead`: with no tracer
+    attached every hook site is an ``is None`` test on a class
+    attribute (PE/bank/crossbar/DRAM ``_trace`` slots), so the implied
+    disabled cost is priced from the micro-benchmarked gate and a
+    generous bound on gate executions counted from the off run's own
+    event counters (PE issue/retire, bank outcome/drain/replay,
+    crossbar hops, DRAM accept/deliver).  A spans-on run is raced
+    alongside and its cycle count asserted identical -- the tracer
+    observes, never perturbs.
+    """
+    from repro.tracing import SpansConfig
+
+    os.environ["REPRO_ENGINE"] = "demand"
+    graph = web_graph(600, 3000, seed=9)
+    config = ArchitectureConfig(
+        _design(4, 4, MOMS_TWO_LEVEL, "bfs", n_channels=2),
+        **SCALED_DEFAULTS,
+    )
+
+    def run_once(spans):
+        system = AcceleratorSystem(graph, "bfs", config, spans=spans)
+        start = time.perf_counter()
+        result = system.run()
+        return system, result, time.perf_counter() - start
+
+    off_walls = []
+    for _ in range(repeats):
+        system_off, off_result, wall = run_once(spans=None)
+        off_walls.append(wall)
+    on_walls = []
+    for _ in range(repeats):
+        system_on, on_result, wall = run_once(
+            spans=SpansConfig(sample_rate=16)
+        )
+        on_walls.append(wall)
+    assert on_result.cycles == off_result.cycles, (
+        "enabling span tracing changed the model: "
+        f"{on_result.cycles} != {off_result.cycles}"
+    )
+
+    banks = system_off.hierarchy.banks
+    requests = sum(pe.stats.moms_reads for pe in system_off.pes)
+    bank_requests = sum(b.stats.requests for b in banks)
+    replays = sum(
+        b.stats.primary_misses + b.stats.secondary_misses for b in banks
+    )
+    drains = sum(b.stats.lines_returned for b in banks)
+    beats = sum(ch.stats.total_beats for ch in system_off.mem.channels)
+    lines = sum(ch.stats.lines_total for ch in system_off.mem.channels)
+    gate_sites = (
+        2 * requests                       # PE issue + retire gates
+        + bank_requests + replays + drains  # bank outcome/replay/drain
+        + 2 * (bank_requests + drains)      # crossbar hop gates (bound)
+        + lines + beats                     # DRAM accept + deliver gates
+    )
+    gate_ns = _gate_cost_ns()
+    wall_off = min(off_walls)
+    implied = gate_sites * gate_ns * 1e-9 / wall_off
+    assert implied < 0.03, (
+        f"disabled span tracing implies {implied * 100:.2f}% overhead "
+        f"({gate_sites} gates x {gate_ns:.1f}ns over {wall_off:.3f}s); "
+        f"budget is 3%"
+    )
+    summary = system_on.tracer.summary()
+    return {
+        "point": "BFS / web_graph(600, 3000) / two-level 4x4",
+        "cycles": off_result.cycles,
+        "wall_off_s": round(wall_off, 3),
+        "wall_on_s": round(min(on_walls), 3),
+        "tracing_on_slowdown": round(min(on_walls) / wall_off, 3),
+        "gate_sites": gate_sites,
+        "gate_ns": round(gate_ns, 2),
+        "implied_off_overhead_pct": round(implied * 100, 4),
+        "budget_pct": 3.0,
+        "requests_seen": summary["requests_seen"],
+        "spans_completed": summary["spans_completed"],
+        "recorder_events": summary["recorder"]["recorded"],
+    }
+
+
 def main(argv=None):
     global _SCALE
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -566,6 +649,15 @@ def main(argv=None):
           f"over {telemetry['wall_off_s']}s); telemetry-on slowdown "
           f"{telemetry['telemetry_on_slowdown']}x")
 
+    print("tracing-overhead gate: implied tracing-off cost vs 3% budget")
+    tracing = bench_tracing_overhead()
+    print(f"  implied {tracing['implied_off_overhead_pct']}% "
+          f"({tracing['gate_sites']} gates x {tracing['gate_ns']}ns "
+          f"over {tracing['wall_off_s']}s); tracing-on slowdown "
+          f"{tracing['tracing_on_slowdown']}x, "
+          f"{tracing['spans_completed']} spans over "
+          f"{tracing['requests_seen']} requests")
+
     print("checkpoint-overhead gate: implied checkpoint-off cost "
           "vs 3% budget")
     checkpoint = bench_checkpoint_overhead()
@@ -603,6 +695,7 @@ def main(argv=None):
         "push_many_micro": bench_push_many(),
         "checks_overhead": checks,
         "telemetry_overhead": telemetry,
+        "tracing_overhead": tracing,
         "checkpoint_overhead": checkpoint,
     }
     with open(args.output, "w") as fh:

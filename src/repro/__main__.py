@@ -120,6 +120,12 @@ def main(argv=None):
         "lint options (for the 'lint' command)"
     )
     add_lint_arguments(lint_group)
+    from repro.tracing.cli import add_spans_arguments
+
+    spans_group = parser.add_argument_group(
+        "spans options (for the 'spans' command)"
+    )
+    add_spans_arguments(spans_group)
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -127,6 +133,7 @@ def main(argv=None):
             print(f"{key:10s} repro.experiments.{module}")
         print(f"{'faultsmoke':10s} repro.faults.smoke")
         print(f"{'trace':10s} repro.telemetry.cli")
+        print(f"{'spans':10s} repro.tracing.cli")
         print(f"{'profile':10s} repro.profiling")
         print(f"{'lint':10s} repro.analysis.cli")
         print(f"{'replay':10s} repro.checkpoint.runner")
@@ -143,7 +150,17 @@ def main(argv=None):
         print(f"replaying {args.target}: {header['algorithm']}/"
               f"{header['organization']} from cycle {header['cycle']} "
               f"({header['engine']} engine, {header['kernels']} kernels)")
-        result, _header = replay_snapshot(args.target)
+        from repro.faults.watchdog import WatchdogError
+
+        try:
+            result, _header = replay_snapshot(args.target)
+        except WatchdogError as error:
+            # Surface the embedded flight-recorder tail alongside the
+            # stall diagnosis instead of a bare traceback.
+            from repro.faults.report import format_stall_report
+
+            print(format_stall_report(error.report))
+            return 1
         print(f"finished at cycle {result.cycles} after "
               f"{result.iterations} iteration(s)")
         return 0
@@ -152,6 +169,11 @@ def main(argv=None):
         from repro.telemetry.cli import run_trace
 
         return run_trace(args)
+
+    if args.experiment == "spans":
+        from repro.tracing.cli import run_spans
+
+        return run_spans(args)
 
     if args.experiment == "profile":
         from repro.profiling import run_profile

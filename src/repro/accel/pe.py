@@ -173,6 +173,9 @@ class ProcessingElement(Component):
     # Opt-in telemetry collector (repro.telemetry), same gating: one
     # "is None" test per tick / phase change / MOMS event when unset.
     _tele = None
+    # Opt-in span tracer (repro.tracing), same gating: one "is None"
+    # test per MOMS issue/retire when unset.
+    _trace = None
 
     def __init__(self, pe_index, spec, layout, mem, config,
                  moms_req, moms_resp, burst_ports, dma_resp,
@@ -775,6 +778,9 @@ class ProcessingElement(Component):
             self._ledger.retire(("pe", self.pe_index), req_id)
         if self._tele is not None:
             self._tele.moms_retire(self.pe_index, req_id, self._engine.now)
+        if self._trace is not None:
+            self._trace.moms_retire(self.pe_index, req_id, _addr,
+                                    self._engine.now)
         if self.spec.weighted:
             del self._id_state[req_id]
             self._free_ids.append(req_id)
@@ -821,6 +827,9 @@ class ProcessingElement(Component):
             self._ledger.issue(("pe", self.pe_index), req_id)
         if self._tele is not None:
             self._tele.moms_issue(self.pe_index, req_id, self._engine.now)
+        if self._trace is not None:
+            self._trace.moms_issue(self.pe_index, req_id, addr,
+                                   self._engine.now)
         self._outstanding_moms += 1
         self.stats.moms_reads += 1
 
@@ -871,6 +880,9 @@ class ProcessingElement(Component):
             self._ledger.issue(("pe", self.pe_index), req_id)
         if self._tele is not None:
             self._tele.moms_issue(self.pe_index, req_id, self._engine.now)
+        if self._trace is not None:
+            self._trace.moms_issue(self.pe_index, req_id, addr,
+                                   self._engine.now)
         self._outstanding_moms += 1
         self.stats.moms_reads += 1
 

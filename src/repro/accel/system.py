@@ -74,7 +74,7 @@ class AcceleratorSystem:
     def __init__(self, graph, algorithm, config, use_hashing=True,
                  use_dbg=False, source=0, seed=0, checks=False,
                  fault_plan=None, watchdog_window=200_000,
-                 telemetry=None, checkpoint=None):
+                 telemetry=None, checkpoint=None, spans=None):
         self.original_graph = graph
         if isinstance(algorithm, AlgorithmSpec):
             self.spec = algorithm
@@ -146,6 +146,27 @@ class AcceleratorSystem:
                     f"True; got {telemetry!r}"
                 )
             self.telemetry = collector.attach(self)
+
+        # Opt-in request-level span tracing (repro.tracing): accepts a
+        # SpansConfig, an attached-elsewhere SpanTracer, or True for
+        # defaults.  Same lazy-import + "is None" hook-gate story as
+        # telemetry; also installed as engine.tracer so stall reports
+        # can embed the flight-recorder tail.
+        self.tracer = None
+        if spans:
+            from repro.tracing import SpanTracer, SpansConfig
+            if isinstance(spans, SpanTracer):
+                tracer = spans
+            elif spans is True:
+                tracer = SpanTracer()
+            elif isinstance(spans, SpansConfig):
+                tracer = SpanTracer(spans)
+            else:
+                raise TypeError(
+                    f"spans must be a SpanTracer, SpansConfig, or True; "
+                    f"got {spans!r}"
+                )
+            self.tracer = tracer.attach(self)
 
         # Opt-in periodic checkpointing (repro.checkpoint): accepts a
         # Checkpointer, a "path[:interval]" spec string, or nothing --
@@ -419,8 +440,29 @@ class AcceleratorSystem:
             "cycles_skipped": self.engine.cycles_skipped,
             "engine": self.engine.activity(),
         }
+        # MSHR merge rate -- merged (secondary) misses over all misses,
+        # the paper's key coalescing-efficiency figure (Fig. 12).
+        merge_by_bank = {}
+        secondary_total = miss_total = 0
+        for bank in self.hierarchy.banks:
+            secondary = bank.stats.secondary_misses
+            misses = secondary + bank.stats.primary_misses
+            secondary_total += secondary
+            miss_total += misses
+            merge_by_bank[bank.name] = (
+                round(secondary / misses, 4) if misses else 0.0
+            )
+        stats["mshr_merge_rate"] = (
+            round(secondary_total / miss_total, 4) if miss_total else 0.0
+        )
+        stats["mshr_merge_rate_by_bank"] = merge_by_bank
         if self.telemetry is not None:
             stats["telemetry"] = self.telemetry.summary()
+        # getattr: systems restored from pre-tracing snapshots have no
+        # tracer attribute (older snapshots are accepted, DESIGN 6.7).
+        tracer = getattr(self, "tracer", None)
+        if tracer is not None:
+            stats["spans"] = tracer.summary()
         return stats
 
 

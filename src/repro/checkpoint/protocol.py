@@ -118,6 +118,7 @@ def _register_all():
         _Account,
     )
     from repro.checkpoint.runner import Checkpointer
+    from repro.tracing.spans import FlightRecorder, SpansConfig, SpanTracer
 
     for cls, note in (
         # simulation kernel
@@ -190,6 +191,9 @@ def _register_all():
         (LatencyHistogram, "log2 buckets"),
         (_Account, "stall attribution buckets"),
         (Checkpointer, "schedule + last-write info (path travels along)"),
+        (SpanTracer, "in-flight span/fetch maps, seq counters, fan-ins"),
+        (SpansConfig, "frozen sampling config"),
+        (FlightRecorder, "bounded last-N-events ring"),
     ):
         register(cls, note)
 

@@ -112,6 +112,9 @@ class MomsBank(Component):
     _fault = None
     # Opt-in telemetry collector (repro.telemetry), same gating.
     _tele = None
+    # Opt-in span tracer (repro.tracing), same gating: one "is None"
+    # test per request outcome / drain / replay when unset.
+    _trace = None
 
     def __init__(self, params, req_in, resp_out, line_in, downstream,
                  store, name="bank", seed=1, kernels=None):
@@ -241,6 +244,9 @@ class MomsBank(Component):
         entry = self.mshrs.remove(line_addr)
         self.cache.fill(line_addr)
         self.stats.lines_returned += 1
+        if self._trace is not None:
+            self._trace.bank_drain(self.name, line_addr,
+                                   entry.subentry_count, self._engine.now)
         chain = entry.subentry_head
         self._drain_chain = chain
         if self._vec:
@@ -273,6 +279,14 @@ class MomsBank(Component):
         items = self._drain_items
         index = self._drain_index
         req_id, port, offset, size = items[index]
+        if self._trace is not None:
+            # Pre-corruption id: the span keeps matching what the PE
+            # issued even under the mutation-smoke fault.
+            self._trace.bank_replay(
+                self.name, req_id, port,
+                self._drain_base // self.params.line_bytes,
+                self._engine.now,
+            )
         if self._fault is not None:
             # Mutation smoke: deterministically corrupt one response ID
             # so tests can prove the PE-side ledger catches it.
@@ -301,6 +315,14 @@ class MomsBank(Component):
         chain = self._drain_chain
         index = self._drain_index
         req_id = chain.req_id[index]
+        if self._trace is not None:
+            # Pre-corruption id, same subentry order as _drain_one, so
+            # vector and scalar kernels emit identical span events.
+            self._trace.bank_replay(
+                self.name, req_id, chain.port[index],
+                self._drain_base // self.params.line_bytes,
+                self._engine.now,
+            )
         if self._fault is not None:
             # Mutation smoke: deterministically corrupt one response ID
             # so tests can prove the PE-side ledger catches it.
@@ -380,6 +402,9 @@ class MomsBank(Component):
             stats.requests += 1
             stats.cache_hits += 1
             stats.responses += 1
+            if self._trace is not None:
+                self._trace.bank_hit(self.name, req_id, port, line_addr,
+                                     self._engine.now)
             return _PROGRESS
 
         # Batch-hash the queued lines only when the backlog is deep: the
@@ -403,6 +428,9 @@ class MomsBank(Component):
             req_in.drop()
             stats.requests += 1
             stats.secondary_misses += 1
+            if self._trace is not None:
+                self._trace.bank_merge(self.name, req_id, port, line_addr,
+                                       self._engine.now)
             return _PROGRESS
 
         # Primary miss: all three structures must have room before any
@@ -428,6 +456,9 @@ class MomsBank(Component):
             self._ledger.issue(("bank", self.name), line_addr)
         if self._tele is not None:
             self._tele.miss_issue(self.name, line_addr, self._engine.now)
+        if self._trace is not None:
+            self._trace.bank_alloc(self.name, req_id, port, line_addr,
+                                   self._engine.now)
         req_in.drop()
         stats.requests += 1
         stats.primary_misses += 1

@@ -79,8 +79,54 @@ def telemetry_from_env():
     return TelemetryConfig()
 
 
+def spans_from_env():
+    """Opt-in span-tracer config from the environment, else None.
+
+    ``REPRO_SPANS=1`` attaches the request span tracer to every sweep
+    point with the default sampling rate (journal rows then carry the
+    compact summary in ``result.stats["spans"]``); ``REPRO_SPANS=<N>``
+    with N > 1 also sets the rate to 1-in-N.  ``REPRO_SPANS_DEPTH``
+    overrides the flight-recorder ring depth.
+    """
+    enabled = os.environ.get("REPRO_SPANS", "").strip()
+    if enabled in ("", "0"):
+        return None
+    from repro.tracing import SpansConfig
+
+    kwargs = {}
+    try:
+        rate = int(enabled)
+    except ValueError:
+        rate = 1
+    if rate > 1:
+        kwargs["sample_rate"] = rate
+    depth = os.environ.get("REPRO_SPANS_DEPTH", "").strip()
+    if depth:
+        kwargs["recorder_depth"] = int(depth)
+    return SpansConfig(**kwargs)
+
+
+def _normalize_observability_stats(result):
+    """Make journal rows explicit about requested-but-absent summaries.
+
+    When the environment asked for telemetry or span tracing but the
+    run produced no summary (e.g. a ``REPRO_RESUME`` point restored
+    from a snapshot taken without the hook attached), record the key
+    as an explicit ``null`` rather than omitting it -- consumers can
+    then tell "collection was off" apart from "collection was
+    requested but unavailable" without re-deriving the environment.
+    """
+    stats = getattr(result, "stats", None)
+    if stats is None:
+        return
+    if os.environ.get("REPRO_TELEMETRY", "").strip() not in ("", "0"):
+        stats.setdefault("telemetry", None)
+    if os.environ.get("REPRO_SPANS", "").strip() not in ("", "0"):
+        stats.setdefault("spans", None)
+
+
 def run_point(graph, algorithm, config, quick=True, use_hashing=True,
-              use_dbg=False, source=0, telemetry=None):
+              use_dbg=False, source=0, telemetry=None, spans=None):
     """One (graph, algorithm, architecture) measurement.
 
     When ``REPRO_RESUME`` names an existing snapshot (the hardened
@@ -100,16 +146,20 @@ def run_point(graph, algorithm, config, quick=True, use_hashing=True,
         with open(resume_from + ".resumed", "w", encoding="utf-8") as fh:
             json.dump({"from_cycle": header["cycle"],
                        "final_cycles": result.cycles}, fh)
+        _normalize_observability_stats(result)
         return system, result
     if telemetry is None:
         telemetry = telemetry_from_env()
+    if spans is None:
+        spans = spans_from_env()
     system = AcceleratorSystem(
         graph, algorithm, config, use_hashing=use_hashing, use_dbg=use_dbg,
-        source=source, telemetry=telemetry,
+        source=source, telemetry=telemetry, spans=spans,
     )
     result = system.run(
         max_iterations=iteration_budget(algorithm, quick)
     )
+    _normalize_observability_stats(result)
     return system, result
 
 

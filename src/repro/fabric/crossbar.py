@@ -19,6 +19,9 @@ class Crossbar(Component):
     """
 
     demand_driven = True
+    # Opt-in span tracer (repro.tracing); class attribute so the
+    # untraced path pays one "is None" test per transfer.
+    _trace = None
 
     def __init__(self, inputs, outputs, route, name="xbar"):
         if not inputs or not outputs:
@@ -73,7 +76,10 @@ class Crossbar(Component):
                 # output just proved it has space and drains one per
                 # cycle); nothing else will commit on their behalf.
                 rearm = True
-            output.push(self.inputs[winner].pop())
+            token = self.inputs[winner].pop()
+            if self._trace is not None:
+                self._trace.xbar_hop(self.name, token, engine.now)
+            output.push(token)
             pointers[out_index] = winner + 1 if winner + 1 < n_in else 0
             self.transfers += 1
         if rearm:

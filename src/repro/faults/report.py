@@ -81,10 +81,20 @@ def build_stall_report(engine, reason=""):
             "cycle": checkpointer.last_cycle,
             "replay": checkpointer.replay_command(),
         }
+    flight_recorder = None
+    tracer = getattr(engine, "tracer", None)
+    if tracer is not None:
+        recorder = tracer.recorder
+        flight_recorder = {
+            "depth": recorder.depth,
+            "recorded": recorder.recorded,
+            "tail": recorder.tail(32),
+        }
     return {
         "reason": reason,
         "cycle": engine.now,
         "checkpoint": checkpoint,
+        "flight_recorder": flight_recorder,
         "cycles_simulated": engine.cycles_simulated,
         "component_ticks": engine.component_ticks,
         "component_breakdown": [
@@ -158,6 +168,18 @@ def format_stall_report(report):
             )
     if len(lines) == 1:
         lines.append("  (no stuck channels, busy components, or timers)")
+    flight = report.get("flight_recorder")
+    if flight and flight.get("tail"):
+        tail = flight["tail"]
+        lines.append(
+            f"  flight recorder (last {len(tail)} of "
+            f"{flight['recorded']} events, oldest first):"
+        )
+        for event in tail:
+            lines.append(
+                "    [{cycle:>10}] {event:<12} {where:<16} "
+                "{detail}".format(**event)
+            )
     checkpoint = report.get("checkpoint")
     if checkpoint:
         lines.append(

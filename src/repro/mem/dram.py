@@ -242,6 +242,9 @@ class DramChannel(Component):
     # Opt-in telemetry collector (repro.telemetry), same gating: one
     # "is None" test per delivered beat when unset.
     _tele = None
+    # Opt-in span tracer (repro.tracing), same gating: one "is None"
+    # test per accepted request / delivered beat when unset.
+    _trace = None
 
     def __init__(self, timings, store, name="dram"):
         self.timings = timings
@@ -331,6 +334,7 @@ class DramChannel(Component):
         store = self.store
         ledger = self._ledger
         tele = self._tele
+        trace = self._trace
         response_pool = MemResponse._pool
         while delivered < limit and scheduled:
             head = scheduled[0]
@@ -380,6 +384,9 @@ class DramChannel(Component):
                             ledger.retire(("dram", self.name), addr)
                         if tele is not None and issued_at >= 0:
                             tele.dram_deliver(self.name, now - issued_at)
+                        if trace is not None:
+                            trace.dram_deliver(self.name, respond_to,
+                                               addr, now)
                         batch.append(response)
                         addr += LINE_BYTES
                         beat += 1
@@ -429,6 +436,9 @@ class DramChannel(Component):
                     ledger.retire(("dram", self.name), response.addr)
                 if tele is not None and response.issued_at >= 0:
                     tele.dram_deliver(self.name, now - response.issued_at)
+                if trace is not None:
+                    trace.dram_deliver(self.name, respond_to,
+                                       response.addr, now)
                 if response.data is None and not response.is_write_ack:
                     response.data = store.read_bytes(response.addr, LINE_BYTES)
                 batch.append(response)
@@ -449,6 +459,10 @@ class DramChannel(Component):
         tag = request.tag
         addr = request.addr
         respond_to = request.respond_to
+        if self._trace is not None:
+            # Before the accept-side recycle below clears respond_to,
+            # which the tracer uses to attribute the fetch to a bank.
+            self._trace.dram_accept(self.name, request, now)
         extra_latency = 0 if self._fault is None \
             else self._fault.dram_extra_latency(now)
         if request.is_write:

@@ -36,7 +36,13 @@ def add_profile_arguments(parser):
     )
     parser.add_argument(
         "--engine", default=None, choices=("demand", "legacy"),
-        help="simulation engine (default: REPRO_ENGINE env, else demand)",
+        help="simulation engine for profile/trace/spans "
+             "(default: REPRO_ENGINE env, else demand)",
+    )
+    parser.add_argument(
+        "--kernels", default=None, choices=("vector", "scalar"),
+        help="hot-loop kernel mode for profile/trace/spans "
+             "(default: REPRO_KERNELS env, else vector)",
     )
     parser.add_argument(
         "--top", type=int, default=20, metavar="N",
@@ -104,6 +110,8 @@ def run_profile(args, log=print):
     # simulation stack (same convention as the trace subcommand).
     if args.engine is not None:
         os.environ["REPRO_ENGINE"] = args.engine
+    if args.kernels is not None:
+        os.environ["REPRO_KERNELS"] = args.kernels
 
     from repro.accel.config import (
         ArchitectureConfig,
@@ -140,8 +148,9 @@ def run_profile(args, log=print):
     modules, functions = _collect_rows(stats)
 
     engine_name = os.environ.get("REPRO_ENGINE", "demand") or "demand"
+    kernels_name = os.environ.get("REPRO_KERNELS", "vector") or "vector"
     log(f"profiled: {args.algorithm} on {graph.name} / {args.org} 4x4, "
-        f"engine={engine_name}")
+        f"engine={engine_name}, kernels={kernels_name}")
     log(f"  {result.cycles:,} cycles in {wall:.3f}s wall "
         f"({result.cycles / wall:,.0f} cycles/s), "
         f"{result.edges_processed:,} edges")

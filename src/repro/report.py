@@ -90,9 +90,11 @@ def telemetry_summary_line(summary):
         return ""
     dram = summary.get("dram", {})
     latency = summary.get("dram_latency", {})
+    cache = summary.get("cache", {})
     return (
         f"telemetry: mshr peak {summary.get('mshr_peak', 0)} "
         f"(mean {summary.get('mshr_mean', 0.0)}), "
+        f"mshr merge rate {cache.get('merge_rate', 0.0):.1%}, "
         f"dram p50/p99 latency "
         f"{latency.get('p50', 0)}/{latency.get('p99', 0)} cycles, "
         f"single-line fraction "

@@ -631,6 +631,9 @@ class Telemetry:
                 "primary_misses": primary,
                 "no_dram_fraction": round(
                     (hits + secondary) / requests, 4) if requests else 0.0,
+                "merge_rate": round(
+                    secondary / (secondary + primary), 4
+                ) if secondary + primary else 0.0,
             },
             "moms_latency": self.merged_latency(self.moms_latency).compact(),
             "miss_latency": self.merged_latency(self.miss_latency).compact(),
