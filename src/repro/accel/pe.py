@@ -361,6 +361,172 @@ class ProcessingElement(Component):
         backlog = self._edges_queued + self._beats_outstanding * 16
         return backlog <= self._decoded_backlog_limit
 
+    def step_n(self, engine, budget):
+        """Fused-tick protocol (see ``repro.sim.Component.step_n``).
+
+        Two PE runs are silently repeatable under a stable singleton
+        wake set: the INIT apply tail (draining the BRAM-apply backlog
+        at the port rate with no DMA traffic this window) and the
+        STREAM decode-under-stall run (one beat decoded per cycle
+        while the head edge stalls on a full MOMS port, an empty ID
+        pool, or a RAW hazard).  Everything else -- burst issue, MOMS
+        dispatch, response serving, phase transitions -- does real
+        per-cycle work and falls through to normal ticks.
+        """
+        if self._tele is not None:
+            return 0
+        phase = self._phase
+        if phase == STREAM:
+            return self._step_n_stream(engine, budget)
+        if phase in (INIT_CONST, INIT_VIN):
+            return self._step_n_init(budget)
+        return 0
+
+    def _step_n_init(self, budget):
+        """Fused INIT run: apply backlog words at the BRAM port rate.
+
+        Fusable only while no beat is waiting in the DMA queue and the
+        next burst cannot issue yet (one in flight, or all requested),
+        so each cycle's whole effect is ``init_nodes_per_cycle`` words
+        applied plus the busy/phase counters.  At least one word is
+        left behind: the completion transition and the possibly
+        partial final apply happen on the real tick that follows.
+        """
+        if self.dma_resp._visible:
+            return 0
+        if (self._rd_burst_outstanding == 0
+                and self._rd_requested < self._rd_total):
+            return 0  # this cycle would issue the next DMA burst
+        backlog = self._apply_backlog
+        if not backlog:
+            return 0
+        per = self.config.init_nodes_per_cycle
+        total = 0
+        for _, chunk in backlog:
+            total += len(chunk)
+        m = (total - 1) // per
+        if budget < m:
+            m = budget
+        if m < 1:
+            return 0
+        # The per-cycle apply loop with an m-cycle budget: identical
+        # word order and chunk trimming, one loop instead of m.
+        budget_words = m * per
+        if self._apply_vec:
+            target = (self._const_bram if self._phase == INIT_CONST
+                      else self._bram)
+            while budget_words > 0 and backlog:
+                start, vals = backlog[0]
+                take = min(budget_words, len(vals))
+                target[start:start + take] = vals[:take]
+                self._applied += take
+                budget_words -= take
+                if take == len(vals):
+                    backlog.popleft()
+                else:
+                    backlog[0] = (start + take, vals[take:])
+        else:
+            decode = self.spec.decode
+            init = self.spec.init
+            while budget_words > 0 and backlog:
+                start, words = backlog[0]
+                take = min(budget_words, len(words))
+                if self._phase == INIT_CONST:
+                    for i in range(take):
+                        self._const_bram[start + i] = float(words[i])
+                else:
+                    for i in range(take):
+                        index = start + i
+                        self._bram[index] = init(
+                            self._const_bram[index], decode(words[i])
+                        )
+                self._applied += take
+                budget_words -= take
+                if take == len(words):
+                    backlog.popleft()
+                else:
+                    backlog[0] = (start + take, words[take:])
+        stats = self.stats
+        stats.busy_cycles += m
+        phase = self._phase
+        stats.cycles_by_phase[phase] = \
+            stats.cycles_by_phase.get(phase, 0) + m
+        return m
+
+    def _step_n_stream(self, engine, budget):
+        """Fused STREAM run: whole-run edge decode under a head stall.
+
+        Each silent cycle pops and decodes exactly one DMA beat into
+        the edge backlog while the head edge re-stalls the dispatcher
+        -- MOMS request port full, ID pool empty, or RAW hazard -- all
+        conditions nothing can clear during the window (the blocking
+        structures drain only through components that are asleep, and
+        the gather pipeline's next commit is past the engine's timer
+        horizon).  One beat stays in the queue and the run stops
+        before any burst issue could resume, so the real tick that
+        follows sees exactly the state the per-cycle path would.
+        """
+        dma_resp = self.dma_resp
+        visible = dma_resp._visible
+        if visible < 2 or dma_resp._space_subs or dma_resp._space_requests:
+            return 0
+        if self.moms_resp._visible or not self._edges_queued:
+            return 0
+        if self._stream_cursor < len(self._shards):
+            return 0  # _request_edge_bursts could do real work mid-run
+        m = visible - 1
+        if budget < m:
+            m = budget
+        pipeline = self._pipeline
+        if pipeline:
+            # Belt and braces: _arm's wake_at already put this commit
+            # cycle in the engine's timer heap, which bounds the
+            # budget -- but don't depend on that invariant here.
+            h = pipeline[0][0] - engine.now
+            if h < m:
+                m = h
+        if m < 1:
+            return 0
+        if self._vec:
+            cols = self._edge_queue
+            head = cols.head
+            local = cols.local[head]
+            dst_off = cols.dst[head]
+        else:
+            src_node, dst_off, _ = self._edge_queue[0]
+            local = (self.spec.use_local_src
+                     and self._lo <= src_node < self._hi)
+        moms_full = False
+        if local:
+            if not self._raw_hazard(dst_off):
+                return 0  # head would dispatch into the gather slot
+        else:
+            moms_req = self.moms_req
+            moms_full = (moms_req._occ + moms_req._staged_n
+                         >= moms_req.capacity)
+            if not moms_full and not (self.spec.weighted
+                                      and not self._free_ids):
+                return 0  # head would issue into the MOMS
+        decode = self._decode_step
+        for _ in range(m):
+            decode()
+        stats = self.stats
+        if local:
+            stats.raw_stalls += m
+        elif moms_full:
+            # Same precedence as _process_edges: a full request port
+            # is counted before the ID pool is even consulted.  The
+            # space-wake re-registrations those cycles would perform
+            # are deferred to the real tick, which runs the same stall
+            # before any commit can fire the one-shot.
+            stats.moms_request_stalls += m
+        else:
+            stats.id_stalls += m
+        stats.busy_cycles += m
+        stats.cycles_by_phase[STREAM] = \
+            stats.cycles_by_phase.get(STREAM, 0) + m
+        return m
+
     def is_idle(self):
         return self._phase == IDLE
 

@@ -16,6 +16,7 @@ from repro.analysis.rules.pooling import (
     MissingSlotsRule,
     discover_pooled_classes,
 )
+from repro.analysis.rules.fusion import FusionSafetyRule
 from repro.analysis.rules.schema import SchemaLiteralRule
 from repro.analysis.rules.vectorize import ScalarDriftRule
 
@@ -30,6 +31,7 @@ ALL_RULES = tuple(sorted(
         MissingSlotsRule(),
         SchemaLiteralRule(),
         ScalarDriftRule(),
+        FusionSafetyRule(),
     ),
     key=lambda rule: int(rule.id[1:]),
 ))

@@ -1,0 +1,134 @@
+"""R10: fusion-safety guard for fused ``step_n`` kernels.
+
+The macro-tick engine (DESIGN.md 6.9) lets a component cover a whole
+run of cycles with one ``step_n(engine, budget)`` call, on the
+contract that the batch replicates the exact per-cycle effects of the
+fused window *without* consulting per-cycle context: the engine
+advances ``now`` only after the call returns, so ``engine.now`` is
+frozen at the run's first cycle for the entire batch.  A kernel that
+reads ``engine.now`` per element -- inside the loop or comprehension
+that walks the batch -- is almost certainly stamping every element
+with the run's start cycle where the unfused path would have stamped
+``start, start+1, ...``: the fused and unfused runs then diverge in a
+way no cycle-count assertion catches (timestamps live in stats,
+traces, or queued tokens, not in ``result.cycles``).
+
+Reading ``engine.now`` once, outside any per-element loop, stays
+legal: that is how a kernel derives the window base to compute
+per-element cycles arithmetically (``base + i``), which is the correct
+fused form.
+"""
+
+import ast
+
+from repro.analysis.rules.base import Rule
+
+_LOOPS = (ast.For, ast.AsyncFor, ast.While)
+_COMPREHENSIONS = (ast.ListComp, ast.SetComp, ast.DictComp,
+                   ast.GeneratorExp)
+
+
+def _engine_param(node):
+    """The name bound to the engine inside a ``step_n`` definition.
+
+    The protocol signature is ``step_n(self, engine, budget)``; tolerate
+    free functions (``step_n(engine, budget)``) by skipping a leading
+    ``self``/``cls``.
+    """
+    args = [arg.arg for arg in node.args.posonlyargs + node.args.args]
+    if args and args[0] in ("self", "cls"):
+        args = args[1:]
+    return args[0] if args else None
+
+
+def _now_reads(node, engine_name):
+    """Yield ``engine.now`` attribute reads anywhere under *node*."""
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Attribute)
+            and sub.attr == "now"
+            and isinstance(sub.value, ast.Name)
+            and sub.value.id == engine_name
+        ):
+            yield sub
+
+
+class FusionSafetyRule(Rule):
+    """R10: no per-element ``engine.now`` reads inside ``step_n``."""
+
+    id = "R10"
+    name = "fusion-safety"
+    severity = "error"
+    summary = "no per-element engine.now reads in fused step_n kernels"
+    rationale = (
+        "The engine advances now only after step_n returns, so "
+        "engine.now is frozen at the fused run's first cycle for the "
+        "whole batch.  A per-element read stamps every element with "
+        "the start cycle where the unfused path would have stamped "
+        "start, start+1, ...; the divergence hides in timestamps "
+        "(stats, traces, queued tokens) that no cycle-count assertion "
+        "compares, breaking the fused/unfused bit-identity contract."
+    )
+    hint = (
+        "read engine.now once before the loop and derive per-element "
+        "cycles arithmetically (base + index); work that genuinely "
+        "needs the live clock must stay on per-cycle tick()"
+    )
+
+    POSITIVE = (
+        "def step_n(self, engine, budget):\n"
+        "    m = 0\n"
+        "    for _ in range(budget):\n"
+        "        self.trace.append(engine.now + m)\n"
+        "        m += 1\n"
+        "    return m\n"
+    )
+    NEGATIVE = (
+        "def step_n(self, engine, budget):\n"
+        "    base = engine.now\n"
+        "    m = self.mshrs.failing_insert_run(self.addr, budget,\n"
+        "                                      vec=True)\n"
+        "    self.trace.extend(base + i for i in range(m))\n"
+        "    self.stats.stall_mshr += m\n"
+        "    return m\n"
+    )
+
+    def check(self, source, ctx):
+        for node in ast.walk(source.tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            if node.name != "step_n":
+                continue
+            engine_name = _engine_param(node)
+            if engine_name is None:
+                continue
+            seen = set()
+            for scope in ast.walk(node):
+                if isinstance(scope, _LOOPS):
+                    # Everything under a loop -- body, condition, and
+                    # iterable included -- re-evaluates per iteration.
+                    parts = [scope]
+                elif isinstance(scope, _COMPREHENSIONS):
+                    # Per-element scope; only the first generator's
+                    # source iterable evaluates once, outside it.
+                    parts = ([scope.key, scope.value]
+                             if isinstance(scope, ast.DictComp)
+                             else [scope.elt])
+                    parts += [cond for gen in scope.generators
+                              for cond in gen.ifs]
+                    parts += [gen.iter for gen in scope.generators[1:]]
+                else:
+                    continue
+                for part in parts:
+                    for read in _now_reads(part, engine_name):
+                        if id(read) in seen:
+                            continue
+                        seen.add(id(read))
+                        yield self.finding(
+                            source, read,
+                            "per-element engine.now read inside fused "
+                            f"'{node.name}' kernel (now is frozen at "
+                            "the run's first cycle for the whole "
+                            "batch)",
+                        )

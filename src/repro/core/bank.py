@@ -218,6 +218,48 @@ class MomsBank(Component):
             # data (frees MSHRs, subentry rows, and fills the cache) or
             # the one-shot armed on the full channel at the stall site.
 
+    def step_n(self, engine, budget):
+        """Fused-tick protocol (see ``repro.sim.Component.step_n``).
+
+        The only multi-cycle run a bank performs under a stable
+        singleton wake set is the cuckoo retry spin: the head request
+        re-attempting the same failing MSHR insert every cycle, each
+        tick re-arming ``engine.wake(self)``.  Such a cycle's exact
+        effects -- cache probe miss, MSHR lookup miss, the failing
+        insert's PRNG/stat advance, ``stall_mshr`` -- are replicated in
+        bulk via :meth:`CuckooMshrFile.failing_insert_run`; every other
+        bank state returns 0 and stays on real per-cycle ticks.
+        """
+        if (self._tele is not None or self._trace is not None
+                or self._ledger is not None or self._fault is not None):
+            return 0
+        if self._drain_items is not None or self.line_in._visible:
+            return 0
+        req_in = self.req_in
+        if not req_in._visible or not self._stateful_mshrs:
+            return 0
+        mshrs = self.mshrs
+        if mshrs._fault is not None:
+            return 0
+        addr = req_in.front_request()[0]
+        line_addr = addr // self.params.line_bytes
+        if self.cache.contains(line_addr) or mshrs.contains(line_addr):
+            return 0
+        if not self.downstream.can_accept(line_addr):
+            return 0
+        m = mshrs.failing_insert_run(line_addr, budget, vec=self._vec)
+        if not m:
+            return 0
+        # Bulk form of m identical retry ticks: probe miss (counted
+        # only when a cache array exists -- CacheArray.probe gates its
+        # stats on presence), lookup miss, MSHR stall.  busy_cycles
+        # stays untouched, exactly like per-cycle _RETRY ticks.
+        if self.cache.present:
+            self.cache.stats.probes += m
+        mshrs.stats.lookups += m
+        self.stats.stall_mshr += m
+        return m
+
     def is_idle(self):
         return (
             self._drain_items is None

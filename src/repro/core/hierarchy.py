@@ -139,6 +139,7 @@ class HierarchySizes:
             cache_lines=scaled(design.shared_cache_kib * 1024 // LINE_BYTES,
                                0, cache_scale),
             cache_assoc=1,
+            mshr_max_kicks=design.mshr_max_kicks,
             associative_mshrs=traditional,
             subentries_per_mshr=(design.traditional_subentries_per_mshr
                                  if traditional else 0),
@@ -157,6 +158,7 @@ class HierarchySizes:
             ),
             cache_lines=private_cache_lines - private_cache_lines % assoc,
             cache_assoc=assoc,
+            mshr_max_kicks=design.mshr_max_kicks,
             associative_mshrs=traditional,
             subentries_per_mshr=(design.traditional_subentries_per_mshr
                                  if traditional else 0),

@@ -15,7 +15,7 @@ Two implementations:
 
 from dataclasses import dataclass, field
 
-from repro.sim.kernels import splitmix64_slots
+from repro.sim.kernels import lcg_jump, splitmix64_slots, victim_ways_batch
 
 
 @dataclass(slots=True)
@@ -189,6 +189,125 @@ class CuckooMshrFile:
         assert carried is entry
         self.stats.insert_failures += 1
         return None
+
+    def contains(self, line_addr):
+        """Pure presence probe: no lookup/hit stats (fusion oracle).
+
+        ``MomsBank.step_n`` must predict that a retry cycle's MSHR
+        lookup would miss without bumping the counters the real,
+        stats-replicated retries account for.
+        """
+        for table, slot in zip(self._tables, self._slots(line_addr)):
+            entry = table[slot]
+            if entry is not None and entry.line_addr == line_addr:
+                return True
+        return False
+
+    def failing_insert_run(self, line_addr, budget, vec=False):
+        """Commit up to *budget* consecutive failing inserts of *line_addr*.
+
+        The fused-retry kernel behind ``MomsBank.step_n``: a bank
+        stalled on cuckoo insert failure re-attempts the same insert
+        every cycle, and each failing attempt leaves the table exactly
+        as before (the exact unwind in :meth:`insert`), advancing only
+        the victim PRNG by ``max_kicks + 1`` draws and
+        ``insert_failures`` by one.  Consecutive attempts are *not*
+        automatically failures -- a different victim-way draw can place
+        the entry with the table unchanged -- so each attempt is
+        dry-run against an overlay view of the table (displacements
+        recorded as ``(way, slot) -> carried line address``, nothing
+        touched until the attempt's verdict is known).  The run stops
+        before the first attempt that would succeed and commits the k
+        failing attempts in bulk: ``_victim_state`` jumped
+        ``k * (max_kicks + 1)`` draws (one numpy ``lcg_batch`` pass
+        when *vec*), ``insert_failures += k``.  Returns k; the caller
+        replays the next, possibly succeeding, attempt on a real tick.
+        """
+        steps = self.max_kicks + 1
+        tables = self._tables
+        n_ways = self.n_ways
+        mask = (1 << 64) - 1
+        failures = 0
+        state = self._victim_state
+        committed = state
+        placed = False
+        if self.occupancy >= self.capacity:
+            # Retry storm on a *full* table: no empty slot exists and
+            # none can appear inside the silent window (removals only
+            # happen on real drain ticks), so every attempt fails by
+            # construction -- the kick chain just shuffles residents
+            # and unwinds.  The whole run collapses to the PRNG
+            # advance: budget * steps draws, jumped in O(log n) for
+            # the vector kernels or replayed as the reference scalar
+            # chain.
+            failures = budget
+            if vec:
+                committed = lcg_jump(state, budget * steps)
+            else:
+                for _ in range(budget * steps):
+                    state = (
+                        state * 6364136223846793005
+                        + 1442695040888963407
+                    ) & mask
+                committed = state
+            self._victim_state = committed
+            self.stats.insert_failures += failures
+            return failures
+        chunk = 4
+        while failures < budget and not placed:
+            if vec:
+                # Chunked so a short run doesn't pay for budget*steps
+                # draws up front; geometric growth keeps the numpy
+                # setup cost proportional to the run actually found,
+                # and each chunk reseeds from the last committed
+                # state, so the draw sequence is identical.
+                n_attempts = min(budget - failures, chunk)
+                chunk = min(chunk * 2, 64)
+                ways_seq, states = victim_ways_batch(
+                    state, n_attempts * steps, n_ways
+                )
+            else:
+                n_attempts = budget - failures
+                ways_seq = None
+            for attempt in range(n_attempts):
+                carried_addr = line_addr
+                view = {}
+                base = attempt * steps
+                for kick in range(steps):
+                    slots = self._slots(carried_addr)
+                    for way in range(n_ways):
+                        if ((way, slots[way]) not in view
+                                and tables[way][slots[way]] is None):
+                            placed = True
+                            break
+                    if placed:
+                        break
+                    if ways_seq is not None:
+                        way = ways_seq[base + kick]
+                    else:
+                        state = (
+                            state * 6364136223846793005
+                            + 1442695040888963407
+                        ) & mask
+                        way = (state >> 33) % n_ways
+                    slot = slots[way]
+                    occupant = view.get((way, slot))
+                    if occupant is None:
+                        occupant = tables[way][slot].line_addr
+                    view[(way, slot)] = carried_addr
+                    carried_addr = occupant
+                if placed:
+                    break
+                failures += 1
+                if ways_seq is not None:
+                    committed = int(states[base + steps - 1])
+                else:
+                    committed = state
+            state = committed
+        if failures:
+            self._victim_state = committed
+            self.stats.insert_failures += failures
+        return failures
 
     def remove(self, line_addr):
         """Free the entry for *line_addr* (line returned and drained)."""

@@ -20,7 +20,9 @@ from dataclasses import dataclass, field, fields
 # versions are recognizable; from_dict() is tolerant in both
 # directions (unknown keys are dropped, missing keys take defaults),
 # which is what lets `--resume` reuse a journal across code changes.
-ACTIVITY_SCHEMA_VERSION = 2
+# v3 added the macro-tick fusion counters (fused_runs, fused_cycles,
+# fusion_abort_reasons).
+ACTIVITY_SCHEMA_VERSION = 3
 
 
 @dataclass
@@ -36,6 +38,13 @@ class EngineActivity:
     # runs with different component counts merge correctly.
     all_tick_equivalent: int = 0
     runs: int = 0
+    # Macro-tick fusion counters: fused runs issued, cycles covered by
+    # them, and why fusion attempts were abandoned ({reason: count}).
+    # Execution-strategy metadata, not architectural state -- always
+    # present (explicit zeros when fusion is off or unsupported).
+    fused_runs: int = 0
+    fused_cycles: int = 0
+    fusion_abort_reasons: dict = field(default_factory=dict)
     # Per-component-class {"count", "ticks", "wakes"} rows (see
     # component_breakdown); summed across merged runs.
     by_kind: dict = field(default_factory=dict)
@@ -57,6 +66,11 @@ class EngineActivity:
                 engine.cycles_simulated * len(engine._components)
             ),
             runs=1,
+            fused_runs=getattr(engine, "fused_runs", 0),
+            fused_cycles=getattr(engine, "fused_cycles", 0),
+            fusion_abort_reasons=dict(
+                getattr(engine, "fusion_abort_reasons", {}) or {}
+            ),
             by_kind=by_kind,
         )
 
@@ -81,6 +95,13 @@ class EngineActivity:
             "component_wakes": self.component_wakes,
             "all_tick_equivalent": self.all_tick_equivalent,
             "runs": self.runs,
+            "fused_runs": self.fused_runs,
+            "fused_cycles": self.fused_cycles,
+            "mean_run_len": round(self.mean_run_len, 2),
+            "fusion_abort_reasons": {
+                reason: self.fusion_abort_reasons[reason]
+                for reason in sorted(self.fusion_abort_reasons)
+            },
             "by_kind": {kind: dict(row)
                         for kind, row in self.by_kind.items()},
         }
@@ -95,6 +116,12 @@ class EngineActivity:
         self.component_wakes += other.component_wakes
         self.all_tick_equivalent += other.all_tick_equivalent
         self.runs += other.runs
+        self.fused_runs += other.fused_runs
+        self.fused_cycles += other.fused_cycles
+        for reason, count in other.fusion_abort_reasons.items():
+            self.fusion_abort_reasons[reason] = (
+                self.fusion_abort_reasons.get(reason, 0) + count
+            )
         for kind, row in other.by_kind.items():
             mine = self.by_kind.get(kind)
             if mine is None:
@@ -120,6 +147,13 @@ class EngineActivity:
     def ticks_avoided(self):
         return self.all_tick_equivalent - self.component_ticks
 
+    @property
+    def mean_run_len(self):
+        """Average cycles covered per fused macro-tick run."""
+        if not self.fused_runs:
+            return 0.0
+        return self.fused_cycles / self.fused_runs
+
     def summary_line(self, jobs=None):
         """One-line scheduler summary for reports and benchmark logs."""
         parts = [
@@ -130,6 +164,12 @@ class EngineActivity:
             f" ({100.0 * self.tick_fraction:.1f}% of all-tick)",
             f"wakes {self.component_wakes:,}",
         ]
+        if self.fused_runs:
+            parts.append(
+                f"fused {self.fused_cycles:,} cycles in "
+                f"{self.fused_runs:,} runs "
+                f"(mean {self.mean_run_len:.0f})"
+            )
         if self.runs > 1:
             parts.append(f"{self.runs} runs")
         if jobs is not None:

@@ -32,6 +32,10 @@ class DesignDescription:
     shared_mshrs: int = 4096
     shared_subentries: int = 32768
     shared_cache_kib: int = 256
+    # Cuckoo insertion kick bound for every MOMS MSHR file (both
+    # levels).  Deeper chains trade insert latency for occupancy at
+    # full load -- the deep-queue benchmark raises this to 32.
+    mshr_max_kicks: int = 16
     # Private-level structures, per PE (two-level / private organizations).
     private_mshrs: int = 4096
     private_subentries: int = 49152

@@ -17,7 +17,7 @@ is exactly the situation the paper's PEs are designed to tolerate.
 from collections import deque
 from dataclasses import dataclass, field
 
-from repro.sim.kernels import vector_enabled
+from repro.sim.kernels import fifo_service_starts, vector_enabled
 from repro.sim import Channel, Component
 
 LINE_BYTES = 64
@@ -447,13 +447,21 @@ class DramChannel(Component):
         return delivered
 
     def _accept(self, engine):
+        if self.req._visible:
+            self._accept_one(engine.now)
+
+    def _accept_one(self, now):
+        """Accept the head request at cycle *now* (one per cycle).
+
+        Factored out of :meth:`_accept` so a fused run can replay the
+        exact per-cycle accept with each silent cycle's clock value --
+        *now* is a parameter precisely so ``step_n`` never reads
+        ``engine.now`` per element.
+        """
         req = self.req
-        if not req._visible:
-            return
         request = req.pop()
         timings = self.timings
         stats = self.stats
-        now = engine.now
         start = max(now, self._next_free)
         beats = request.beats
         tag = request.tag
@@ -514,6 +522,130 @@ class DramChannel(Component):
             request.tag = None
             request.respond_to = None
             pool.append(request)
+
+    def step_n(self, engine, budget):
+        """Fused-tick protocol (see ``repro.sim.Component.step_n``).
+
+        The multi-cycle run a DRAM channel performs under a stable
+        singleton wake set is the accept drain: one queued request
+        popped per cycle while no response beat is deliverable -- the
+        schedule head is either still maturing (the engine's timer
+        horizon already bounds *budget* below it) or head-of-line
+        blocked on a full requester FIFO that nothing can drain during
+        silent cycles.  The batch stops before the first write (store
+        writes and ack scheduling stay per-cycle), keeps at least one
+        request visible so the queue's per-cycle commit wake chain
+        stays intact, and replays each accept with its own cycle value
+        via :meth:`_accept_one`.
+        """
+        if (self._fault is not None or self._trace is not None
+                or self._ledger is not None):
+            return 0
+        req = self.req
+        visible = req._visible
+        if visible < 2 or req._space_subs or req._space_requests:
+            return 0
+        now = engine.now
+        limit = budget
+        scheduled = self._scheduled
+        if scheduled:
+            head = scheduled[0]
+            if type(head) is tuple:
+                head_time, _, respond_to = head
+            else:
+                head_time, respond_to = head.t_next, head.respond_to
+            if head_time <= now:
+                # Due head: fusable only while head-of-line blocked on
+                # a full requester FIFO; deliverable or evaporating
+                # heads do real work every cycle.
+                if respond_to is None or respond_to.free_slots() > 0:
+                    return 0
+            elif head_time - now < limit:
+                # Belt and braces: _arm's wake_at already put this
+                # maturity in the engine's timer heap, which clamps the
+                # budget -- but don't depend on that invariant here.
+                limit = head_time - now
+        else:
+            # Empty schedule: newly accepted beats mature no earlier
+            # than now + latency + 1, past any in-window cycle.
+            if self.timings.latency < limit:
+                limit = self.timings.latency
+        m = visible - 1
+        if limit < m:
+            m = limit
+        if m < 1:
+            return 0
+        ring = req._ring
+        head_i = req._head
+        mask = req._mask
+        k = 0
+        while k < m and not ring[(head_i + k) & mask].is_write:
+            k += 1
+        if k < 1:
+            return 0
+        if self._vec and k >= 16 and self._next_free >= now + k:
+            self._accept_batch_vec(k, now)
+        else:
+            for j in range(k):
+                self._accept_one(now + j)
+        return k
+
+    def _accept_batch_vec(self, k, now):
+        """Vector accept kernel: *k* queued reads on a backlogged bus.
+
+        Only valid when ``_next_free`` stays at or ahead of every
+        accept cycle (caller-checked), so each request's start time is
+        ``next_free`` plus the cumulative service of the requests
+        before it -- one ``fifo_service_starts`` pass -- and the stats
+        become whole-batch reductions.  Bit-identical to *k*
+        consecutive :meth:`_accept_one` calls; reachable only with the
+        fault/trace/ledger hooks unset, so the recycle below matches
+        the per-cycle path exactly.
+        """
+        req = self.req
+        timings = self.timings
+        stats = self.stats
+        latency = timings.latency
+        visible0 = req._visible
+        requests = [req.pop() for _ in range(k)]
+        beats = [r.beats for r in requests]
+        cpbs = [timings.cycles_per_beat(r.kind) for r in requests]
+        services = [b * c for b, c in zip(beats, cpbs)]
+        starts = fifo_service_starts(self._next_free, services)
+        pool = MemRequest._pool
+        depth = visible0 + self._sched_beats
+        peak = stats.peak_queue
+        singles = 0
+        lines_single = 0
+        for j, request in enumerate(requests):
+            n = beats[j]
+            self._schedule_segment(
+                int(starts[j]) + latency, cpbs[j], n, request.addr,
+                request.tag, request.respond_to, now + j,
+            )
+            # Same post-pop depth _accept_one computes: one fewer
+            # queued request, this request's beats now scheduled.
+            depth += n - 1
+            if depth > peak:
+                peak = depth
+            if request.kind == "single":
+                singles += 1
+                lines_single += n
+            if pool is not None:
+                request.data = None
+                request.tag = None
+                request.respond_to = None
+                pool.append(request)
+        total_beats = sum(beats)
+        total_service = sum(services)
+        self._next_free = int(starts[-1]) + services[-1]
+        stats.bytes_read += total_beats * LINE_BYTES
+        stats.busy_cycles += total_service
+        stats.reads_single += singles
+        stats.reads_burst += k - singles
+        stats.lines_single += lines_single
+        stats.lines_burst += total_beats - lines_single
+        stats.peak_queue = peak
 
     def _schedule(self, ready_time, response, respond_to):
         if self._scheduled and ready_time < self._tail_ready():

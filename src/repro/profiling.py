@@ -196,6 +196,13 @@ def run_profile(args, log=print):
     activity = EngineActivity.from_engine(system.engine)
     log("")
     log(f"engine: {activity.summary_line()}")
+    aborts = ", ".join(
+        f"{reason}={activity.fusion_abort_reasons[reason]}"
+        for reason in sorted(activity.fusion_abort_reasons)
+    ) or "none"
+    log(f"fusion: {activity.fused_runs} fused runs covering "
+        f"{activity.fused_cycles:,} cycles "
+        f"(mean {activity.mean_run_len:.1f}); aborts: {aborts}")
     per_cycle = fresh / result.cycles if result.cycles else 0.0
     log(f"tokens: {fresh} fresh constructions over {result.cycles:,} "
         f"cycles = {per_cycle:.4f} allocations/cycle "

@@ -23,10 +23,50 @@ state trajectory over ``engine.now`` -- and therefore every cycle
 count and GTEPS figure -- is bit-identical.  Only the activity
 counters (``cycles_simulated``, ``component_ticks``) differ; they are
 the measure of the saved work.
+
+On top of demand scheduling sits **macro-tick fusion**
+(``REPRO_FUSION``, DESIGN 6.9): when exactly one component is woken
+and the stability oracle proves the next cycles are free of timer
+maturities, hook points, and cycle-budget edges, the engine offers the
+component one ``step_n(engine, budget)`` call that may advance m
+provably *silent* cycles in a single batch, then runs a completely
+normal tick for the cycle after the batch.  Silent means: the exact
+per-cycle state and stat effects, but no channel pushes, no pops from
+channels with space watchers, no wakes of other components, and no
+hook side effects -- so anything observable happens on the ordinary
+per-cycle path and the state trajectory stays bit-identical with
+fusion on or off.
 """
 
 import heapq
 import os
+
+#: Default cap on the length of one fused run (``REPRO_FUSION=on``).
+#: The stability oracle usually clamps far below this; the cap only
+#: bounds pathological cases (a component that could run silently
+#: forever would otherwise starve the done() check).
+FUSION_DEFAULT_CAP = 4096
+
+
+def fusion_cap_from_env():
+    """Parse ``REPRO_FUSION`` into a run-length cap (0 = disabled).
+
+    ``on`` (the default) enables fusion with :data:`FUSION_DEFAULT_CAP`;
+    ``off`` disables it; an integer K caps fused runs at K cycles
+    (values below 2 cannot amortize anything and disable fusion).
+    """
+    spec = os.environ.get("REPRO_FUSION", "on").strip().lower()
+    if spec in ("", "on", "true", "default"):
+        return FUSION_DEFAULT_CAP
+    if spec in ("off", "false", "0"):
+        return 0
+    try:
+        cap = int(spec)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_FUSION={spec!r}: expected on, off, or an integer cap"
+        ) from None
+    return cap if cap >= 2 else 0
 
 
 class DeadlockError(RuntimeError):
@@ -73,6 +113,18 @@ class Component:
     wakes = 0
     _engine_order = -1
     _engine = None  # back-reference, set by Engine.add_component
+    # Macro-tick fusion opt-in.  Components that can batch a run of
+    # provably *silent* cycles override this with a method
+    # ``step_n(engine, budget) -> int`` returning how many cycles m
+    # (0 <= m <= budget) were advanced.  The contract (DESIGN 6.9):
+    # the m covered cycles must be exactly the state/stat effects the
+    # per-cycle ticks would have had, with NO channel pushes, pops
+    # from channels that have space watchers, wakes of other
+    # components, hook side effects, or per-cycle ``engine.now``
+    # reads (the engine advances ``now`` only after step_n returns).
+    # The engine then executes a completely normal tick for the next
+    # cycle, so anything non-silent happens on the ordinary path.
+    step_n = None
 
     def request_wake(self):
         """Ask to be ticked next cycle (no-op before registration).
@@ -132,6 +184,13 @@ class Engine:
     # stall/fault reports can reach its flight recorder (see
     # repro.faults.report.build_stall_report).
     tracer = None
+    # Macro-tick fusion counters (class attributes double as zero
+    # defaults for engines unpickled from pre-fusion snapshots, which
+    # also resume with fusion disabled: their snapshotted wake/timer
+    # state predates the silent-cycle bookkeeping).
+    fused_runs = 0
+    fused_cycles = 0
+    _fusion_cap = 0
 
     def __init__(self):
         self.now = 0
@@ -139,6 +198,14 @@ class Engine:
         self.cycles_skipped = 0
         self.component_ticks = 0
         self.component_wakes = 0
+        self.fused_runs = 0
+        self.fused_cycles = 0
+        self.fusion_abort_reasons = {}
+        # Read at construction (like REPRO_KERNELS) so one process can
+        # race fused vs unfused systems; snapshots carry the cap, so a
+        # resumed run replays with the original's fusion decisions.
+        self._fusion_cap = fusion_cap_from_env() if self._demand_enabled \
+            else 0
         self._components = []
         self._demand_components = []
         self._always = []  # legacy components, ticked every cycle
@@ -261,6 +328,85 @@ class Engine:
         self.now += 1
         self.cycles_simulated += 1
 
+    # -- macro-tick fusion --------------------------------------------------
+
+    def _fuse_abort(self, reason):
+        counts = self.fusion_abort_reasons
+        counts[reason] = counts.get(reason, 0) + 1
+
+    def _try_fuse(self, stable, start, max_cycles):
+        """Attempt a fused run for the lone woken component.
+
+        The stability oracle: the wake set over the next ``budget``
+        cycles is exactly {component} as long as no timer matures
+        inside the silent window (m <= first_timer - now keeps the
+        maturing cycle on the real-step path, where ``_step`` merges
+        due timers itself), no watchdog / sampler / checkpoint hook
+        point lands inside it (each fires when post-step ``now``
+        reaches ``next_*``, so m <= next - now - 1), and the caller's
+        cycle budget is not overrun (the real step must land within
+        it: m <= start + max_cycles - 1 - now).  Channel deliveries
+        need no engine-side clamp: a silent cycle by definition makes
+        no channel push, and pops are only allowed from channels with
+        no space watchers, so no commit inside the window could wake
+        anyone -- the component's own ``step_n`` guards enforce that
+        (and return 0 otherwise).
+        """
+        component = next(iter(self._wake_next.values()))
+        if component.step_n is None:
+            self._fuse_abort("no_step_n")
+            return
+        if not stable:
+            self._fuse_abort("unstable_done")
+            return
+        now = self.now
+        budget = self._fusion_cap
+        timers = self._timers
+        if timers:
+            h = timers[0][0] - now
+            if h < budget:
+                budget = h
+        watchdog = self.watchdog
+        if watchdog is not None:
+            h = watchdog.next_check - now - 1
+            if h < budget:
+                budget = h
+        sampler = self.sampler
+        if sampler is not None:
+            h = sampler.next_sample - now - 1
+            if h < budget:
+                budget = h
+        checkpointer = self.checkpointer
+        if checkpointer is not None:
+            h = checkpointer.next_checkpoint - now - 1
+            if h < budget:
+                budget = h
+        if max_cycles is not None:
+            h = start + max_cycles - 1 - now
+            if h < budget:
+                budget = h
+        if budget < 1:
+            self._fuse_abort("horizon")
+            return
+        m = component.step_n(self, budget)
+        if not m:
+            self._fuse_abort("component")
+            return
+        # The m covered cycles each executed one tick of *component*
+        # and would each have re-armed it for the next cycle (self
+        # wake or its input channel's commit-time data wake); the
+        # preserved _wake_next singleton feeds the real step that
+        # follows.  Counter accounting keeps activity stats identical
+        # to the per-cycle schedule.
+        self.now = now + m
+        self.cycles_simulated += m
+        self.component_ticks += m
+        component.ticks += m
+        self.component_wakes += m
+        component.wakes += m
+        self.fused_runs += 1
+        self.fused_cycles += m
+
     # -- diagnosis ----------------------------------------------------------
 
     def _pending_work(self):
@@ -323,7 +469,7 @@ class Engine:
     # -- the run loop -------------------------------------------------------
 
     def run(self, done=None, max_cycles=None, raise_on_limit=False,
-            resume=False):
+            resume=False, stable_done=False):
         """Run until *done()* is true (or until globally idle).
 
         Returns the number of cycles elapsed during this call.  When no
@@ -343,6 +489,17 @@ class Engine:
         ``_wake_next``/``_timers``/watchdog state already encode them --
         re-applying either would perturb the wake counters (reported in
         run stats) away from the uninterrupted run.
+
+        ``stable_done=True`` declares that *done()* can only flip as a
+        result of a component tick's channel effects -- never during a
+        provably silent cycle -- which licenses macro-tick fusion
+        (``REPRO_FUSION``): runs of same-component silent cycles are
+        advanced with one ``step_n`` call instead of n ticks.  Callers
+        with time- or state-probing done() predicates must leave it
+        False (fusion then skips their run, counted under
+        ``fusion_abort_reasons["unstable_done"]``).  ``done=None``
+        (run to global idle) is always stable: silent cycles cannot
+        empty the wake set.
         """
         start = self.now
         if not resume:
@@ -357,6 +514,8 @@ class Engine:
             watchdog.begin(self)
         sampler = self.sampler
         checkpointer = self.checkpointer
+        fusion_cap = self._fusion_cap
+        stable = done is None or stable_done
         while True:
             if done is not None and done():
                 break
@@ -379,6 +538,8 @@ class Engine:
                     # Re-check done()/max_cycles at the new time before
                     # stepping; a bare event may have woken nobody.
                     continue
+                if fusion_cap and len(self._wake_next) == 1:
+                    self._try_fuse(stable, start, max_cycles)
             self._step()
             if watchdog is not None and self.now >= watchdog.next_check:
                 watchdog.check(self)
@@ -399,19 +560,45 @@ class Engine:
 
     # -- statistics ---------------------------------------------------------
 
+    # Execution-strategy bookkeeping inside activity(): how the engine
+    # chose to advance time, not what the model computed.  These vary
+    # with hook cadence (a checkpointer or sampler clamps fusion
+    # horizons), so bit-identity contracts that compare runs across
+    # hook configurations (replay, chaos) must exclude them; see
+    # AcceleratorSystem._collect_stats.
+    FUSION_BOOKKEEPING_KEYS = (
+        "fused_runs", "fused_cycles", "mean_run_len",
+        "fusion_abort_reasons",
+    )
+
     def activity(self):
         """Scheduler-efficiency counters as a plain dict.
 
         ``component_ticks`` versus ``cycles x components`` is the
         demand-driven win; ``cycles_skipped`` is the idle fast-forward
-        win.  See :mod:`repro.core.stats` for aggregation helpers.
+        win; ``fused_runs``/``fused_cycles`` are the macro-tick win
+        (cycles advanced through ``step_n`` batches instead of
+        per-cycle ticks).  The fusion keys are always present --
+        explicit zeros when ``REPRO_FUSION=off`` or under the legacy
+        engine.  See :mod:`repro.core.stats` for aggregation helpers.
         """
+        fused_runs = self.fused_runs
+        fused_cycles = self.fused_cycles
+        aborts = getattr(self, "fusion_abort_reasons", None) or {}
         return {
             "cycles_simulated": self.cycles_simulated,
             "cycles_skipped": self.cycles_skipped,
             "component_ticks": self.component_ticks,
             "component_wakes": self.component_wakes,
             "n_components": len(self._components),
+            "fused_runs": fused_runs,
+            "fused_cycles": fused_cycles,
+            "mean_run_len": (
+                round(fused_cycles / fused_runs, 2) if fused_runs else 0.0
+            ),
+            "fusion_abort_reasons": {
+                reason: aborts[reason] for reason in sorted(aborts)
+            },
         }
 
 

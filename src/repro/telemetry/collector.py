@@ -46,7 +46,9 @@ from repro.accel.pe import (
     WRITEBACK,
 )
 
-TELEMETRY_SCHEMA_VERSION = 1
+# v2 added the "fusion" block (macro-tick run counters, explicit
+# zeros when fusion is off); consumers are tolerant of missing keys.
+TELEMETRY_SCHEMA_VERSION = 2
 
 # Stall-attribution categories.  Every accounted cycle lands in exactly
 # one of these; BUSY and PIPELINE are the productive buckets.
@@ -602,6 +604,12 @@ class Telemetry:
     def summary(self):
         """Compact, JSON-safe digest for journal rows and reports."""
         mshr = [row["mshr_total"] for row in self.samples]
+        engine = self._system.engine if self._system is not None else None
+        fused_runs = getattr(engine, "fused_runs", 0)
+        fused_cycles = getattr(engine, "fused_cycles", 0)
+        abort_reasons = dict(
+            getattr(engine, "fusion_abort_reasons", {}) or {}
+        )
         bank_stats = [bank.stats for bank in self._banks]
         requests = sum(s.requests for s in bank_stats)
         hits = sum(s.cache_hits for s in bank_stats)
@@ -622,6 +630,19 @@ class Telemetry:
             "spans_dropped": self.spans_dropped,
             "mshr_peak": max(mshr, default=0),
             "mshr_mean": round(sum(mshr) / len(mshr), 2) if mshr else 0.0,
+            # Macro-tick fusion counters: execution-strategy metadata
+            # (how the engine advanced time), recorded with explicit
+            # zeros when fusion is off so the keys are never absent.
+            "fusion": {
+                "fused_runs": fused_runs,
+                "fused_cycles": fused_cycles,
+                "mean_run_len": round(fused_cycles / fused_runs, 2)
+                if fused_runs else 0.0,
+                "abort_reasons": {
+                    reason: abort_reasons[reason]
+                    for reason in sorted(abort_reasons)
+                },
+            },
             "pe_stalls": self._bucket_totals(self._pe_accounts),
             "bank_stalls": self._bucket_totals(self._bank_accounts),
             "cache": {

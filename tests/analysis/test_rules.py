@@ -283,6 +283,62 @@ class TestSlotsR7:
         assert not lint_text(good, rules="R7").findings
 
 
+class TestFusionSafetyR10:
+    def test_while_loop_read_flagged(self):
+        bad = (
+            "def step_n(self, engine, budget):\n"
+            "    m = 0\n"
+            "    while m < budget:\n"
+            "        self.stamp(engine.now)\n"
+            "        m += 1\n"
+            "    return m\n"
+        )
+        finding = _only(lint_text(bad, rules="R10"))
+        assert "frozen" in finding.message
+
+    def test_comprehension_read_flagged(self):
+        bad = (
+            "def step_n(self, engine, budget):\n"
+            "    self.trace.extend(engine.now for _ in range(budget))\n"
+            "    return budget\n"
+        )
+        assert lint_text(bad, rules="R10").findings
+
+    def test_first_generator_source_allowed(self):
+        good = (
+            "def step_n(self, engine, budget):\n"
+            "    rows = [row for row in self.window(engine.now)]\n"
+            "    return len(rows)\n"
+        )
+        assert not lint_text(good, rules="R10").findings
+
+    def test_loop_condition_read_flagged(self):
+        bad = (
+            "def step_n(self, engine, budget):\n"
+            "    while engine.now < self.deadline:\n"
+            "        self.advance()\n"
+            "    return 0\n"
+        )
+        assert lint_text(bad, rules="R10").findings
+
+    def test_per_cycle_tick_not_covered(self):
+        good = (
+            "def tick(self, engine):\n"
+            "    for item in self.backlog:\n"
+            "        self.stamp(engine.now, item)\n"
+        )
+        assert not lint_text(good, rules="R10").findings
+
+    def test_renamed_engine_param_tracked(self):
+        bad = (
+            "def step_n(self, eng, budget):\n"
+            "    for _ in range(budget):\n"
+            "        self.stamp(eng.now)\n"
+            "    return budget\n"
+        )
+        assert lint_text(bad, rules="R10").findings
+
+
 class TestSchemaLiteralR8:
     def test_string_version_not_flagged(self):
         good = (
