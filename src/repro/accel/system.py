@@ -180,10 +180,11 @@ class AcceleratorSystem:
         if checkpoint is not None:
             from repro.checkpoint import Checkpointer
             if isinstance(checkpoint, Checkpointer):
-                self.checkpointer = checkpoint
+                checkpointer = checkpoint
             else:
-                self.checkpointer = Checkpointer.from_spec(checkpoint)
-            self.checkpointer.attach(self)
+                checkpointer = Checkpointer.from_spec(checkpoint)
+            checkpointer.attach(self)
+            self.checkpointer = checkpointer
 
     # -- construction --------------------------------------------------------
 

@@ -48,7 +48,8 @@ def load_baseline(path):
     warnings = []
     try:
         with open(path, "r", encoding="utf-8") as handle:
-            payload = json.load(handle)
+            text = handle.read()
+        payload = json.loads(text)
     except FileNotFoundError:
         return frozenset(), warnings
     except (OSError, ValueError) as error:
@@ -79,8 +80,35 @@ def load_baseline(path):
         message = entry.get("message")
         if isinstance(rule, str) and isinstance(rel, str) \
                 and isinstance(message, str):
+            if not _known_rule(rule):
+                warnings.append(
+                    f"baseline {path}:{_entry_line(text, rule)}: "
+                    f"unknown rule {rule!r} (retired or renamed?); "
+                    f"entry kept but can never match"
+                )
             keys.add((rule, rel, message))
     return frozenset(keys), warnings
+
+
+def _known_rule(rule_id):
+    """Whether *rule_id* is in the active catalog."""
+    from repro.analysis.rules import RULES_BY_KEY
+
+    return rule_id.lower() in RULES_BY_KEY
+
+
+def _entry_line(text, rule_id):
+    """First line of *text* mentioning *rule_id* as a rule value.
+
+    Best-effort (json.load drops positions): scans the raw text for
+    the entry's ``"rule": "Rxx"`` spelling.  Falls back to 1.
+    """
+    needle = f'"rule": "{rule_id}"'
+    loose = f'"{rule_id}"'
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if needle in line or (loose in line and '"rule"' in line):
+            return lineno
+    return 1
 
 
 def apply_baseline(result, path):

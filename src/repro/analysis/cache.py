@@ -1,0 +1,103 @@
+"""Disk cache for the parsed-source + call-graph index.
+
+Parsing ~150 files and resolving the tree-wide call graph dominates a
+full lint run; CI runs it on every push.  The cache pickles the parsed
+:class:`~repro.analysis.source.SourceFile` list and the
+:class:`~repro.analysis.callgraph.CallGraph` built over it, keyed by a
+fingerprint of (tree contents, analyzer version): any edit to a linted
+file *or* to the analysis package itself changes the key, so a stale
+index can never serve a new tree or a new rule implementation.
+
+Tolerant in the baseline/journal tradition: a missing, corrupt, or
+version-skewed cache entry is a miss, never an error -- the linter
+guarding the tree must not fall over on its own artifacts.  Cached and
+uncached runs are byte-identical by construction (the pickle round
+trip preserves the exact objects a fresh parse would build; the
+determinism test compares both paths).
+"""
+
+import hashlib
+import pathlib
+import pickle
+
+# Bump to invalidate every existing cache entry (index layout change).
+CACHE_SCHEMA = 1
+
+
+def _iter_tree_files(paths):
+    files = []
+    for path in paths:
+        path = pathlib.Path(path).resolve()
+        if path.is_dir():
+            files.extend(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            files.append(path)
+    return sorted(set(files))
+
+
+def tree_fingerprint(paths, root):
+    """Content hash of the linted tree plus the analyzer itself."""
+    digest = hashlib.sha256()
+    digest.update(f"schema={CACHE_SCHEMA}\n".encode())
+    analysis_dir = pathlib.Path(__file__).resolve().parent
+    for group in (_iter_tree_files(paths),
+                  sorted(analysis_dir.rglob("*.py"))):
+        for path in group:
+            try:
+                rel = path.relative_to(root).as_posix()
+            except ValueError:
+                rel = path.as_posix()
+            try:
+                content = path.read_bytes()
+            except OSError:
+                content = b"<unreadable>"
+            digest.update(rel.encode())
+            digest.update(b"\0")
+            digest.update(hashlib.sha256(content).digest())
+            digest.update(b"\n")
+    return digest.hexdigest()
+
+
+def _entry_path(cache_dir, fingerprint):
+    return pathlib.Path(cache_dir) / f"simlint-index-{fingerprint}.pkl"
+
+
+def load_index(cache_dir, fingerprint):
+    """(sources, errors, callgraph) for *fingerprint*, or None on miss."""
+    path = _entry_path(cache_dir, fingerprint)
+    try:
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+            ImportError, IndexError, ValueError):
+        return None
+    if not isinstance(payload, dict) \
+            or payload.get("schema") != CACHE_SCHEMA:
+        return None
+    try:
+        return (payload["sources"], payload["errors"],
+                payload["callgraph"])
+    except KeyError:
+        return None
+
+
+def save_index(cache_dir, fingerprint, sources, errors, callgraph):
+    """Persist the index; failures are silent (cache is best-effort)."""
+    cache_dir = pathlib.Path(cache_dir)
+    path = _entry_path(cache_dir, fingerprint)
+    payload = {
+        "schema": CACHE_SCHEMA,
+        "sources": sources,
+        "errors": errors,
+        "callgraph": callgraph,
+    }
+    try:
+        cache_dir.mkdir(parents=True, exist_ok=True)
+        # Write-then-rename so a killed run never leaves a torn entry.
+        tmp = path.with_suffix(".tmp")
+        with open(tmp, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        tmp.replace(path)
+        return True
+    except OSError:
+        return False

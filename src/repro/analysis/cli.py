@@ -7,6 +7,8 @@ Runs the simlint rule catalog (DESIGN.md 6.5) over the source tree::
     python -m repro lint --format sarif > out.sarif
     python -m repro lint --fail-on warning        # stricter gate
     python -m repro lint --quick                  # self-check + hot tree
+    python -m repro lint --changed                # git-diff scope
+    python -m repro lint --cache-dir .simlint     # parsed-source cache
     python -m repro lint --write-baseline simlint_baseline.json
     python -m repro lint --baseline simlint_baseline.json
 
@@ -59,6 +61,17 @@ def add_lint_arguments(parser):
         "--quick", action="store_true",
         help="self-check every rule against its built-in fixtures, "
              "then lint only the hot simulator packages",
+    )
+    parser.add_argument(
+        "--changed", action="store_true",
+        help="report only findings in git-changed files plus their "
+             "call-graph dependents (whole tree is still parsed, so "
+             "whole-program rules stay sound)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="directory for the parsed-source cache, keyed on a tree "
+             "fingerprint (default: no cache)",
     )
     parser.add_argument(
         "--show-suppressed", action="store_true",
@@ -120,7 +133,11 @@ def run_lint(args, log=print):
     if not paths:
         paths = _hot_package_paths() if args.quick \
             else engine_module.default_paths()
-    result = engine_module.lint_paths(paths, rules=rules)
+    result = engine_module.lint_paths(
+        paths, rules=rules,
+        changed_only=args.changed,
+        cache_dir=args.cache_dir,
+    )
 
     if args.baseline:
         baseline_module.apply_baseline(result, args.baseline)

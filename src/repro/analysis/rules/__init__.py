@@ -10,14 +10,22 @@ from repro.analysis.rules.determinism import (
     FloatCycleCompareRule,
     NondeterminismRule,
 )
-from repro.analysis.rules.hooks import MutableDefaultRule, UngatedHookRule
+from repro.analysis.rules.hooks import (
+    InterproceduralHookRule,
+    MutableDefaultRule,
+    UngatedHookRule,
+)
 from repro.analysis.rules.pooling import (
     DirectTokenConstructionRule,
     MissingSlotsRule,
     discover_pooled_classes,
 )
-from repro.analysis.rules.fusion import FusionSafetyRule
-from repro.analysis.rules.schema import SchemaLiteralRule
+from repro.analysis.rules.fusion import FusionPurityRule, FusionSafetyRule
+from repro.analysis.rules.schema import (
+    SchemaCoherenceRule,
+    SchemaLiteralRule,
+)
+from repro.analysis.rules.snapshot import SnapshotCompletenessRule
 from repro.analysis.rules.vectorize import ScalarDriftRule
 
 ALL_RULES = tuple(sorted(
@@ -32,6 +40,10 @@ ALL_RULES = tuple(sorted(
         SchemaLiteralRule(),
         ScalarDriftRule(),
         FusionSafetyRule(),
+        SnapshotCompletenessRule(),
+        InterproceduralHookRule(),
+        FusionPurityRule(),
+        SchemaCoherenceRule(),
     ),
     key=lambda rule: int(rule.id[1:]),
 ))

@@ -1,30 +1,44 @@
-"""R4/R6: is-None-gated hook calls and mutable default arguments.
+"""R4/R6/R12: hook gating (syntactic and interprocedural) and mutable
+default arguments.
 
-The opt-in instrumentation layers (repro.faults, repro.telemetry) hang
-off well-known attributes -- ``_fault`` / ``_tele`` / ``_ledger`` on
-components, ``watchdog`` / ``sampler`` on the engine, ``ledger`` /
-``telemetry`` on the accelerator system -- that are ``None`` in the
-default configuration.  The contract (DESIGN.md 6.2/6.3) is that every
-invocation is guarded by an ``is not None`` test (directly, through a
-local alias, in a ternary, or as the left arm of an ``and``), so the
-uninstrumented hot path pays exactly one pointer test and the
-disabled-hook overhead budgets in bench_sim.py stay <3%.
+The opt-in instrumentation layers (repro.faults, repro.telemetry,
+repro.tracing, repro.checkpoint) hang off well-known attributes --
+``_fault`` / ``_tele`` / ``_ledger`` / ``_trace`` on components,
+``watchdog`` / ``sampler`` on the engine, ``ledger`` / ``telemetry`` /
+``tracer`` / ``checkpointer`` on the accelerator system -- that are
+``None`` in the default configuration.  The contract (DESIGN.md
+6.2/6.3) is that every invocation is guarded by an ``is not None``
+test (directly, through a local alias, in a ternary, or as the left
+arm of an ``and``), so the uninstrumented hot path pays exactly one
+pointer test and the disabled-hook overhead budgets in bench_sim.py
+stay <3%.
+
+R4 checks the direct syntactic form; R12 runs the flow-sensitive
+analysis from :mod:`repro.analysis.dataflow` interprocedurally, so a
+hook handed to a helper that dereferences its parameter unguarded is
+flagged at the call site even though no hook method call appears
+there.
 """
 
 import ast
 
+from repro.analysis.dataflow import FlowScan, param_summaries, \
+    unsafe_arguments
 from repro.analysis.rules.base import Rule
 
 # Attribute names that carry optional instrumentation objects.
 HOOK_ATTRS = frozenset({
     "_fault", "_tele", "_ledger",   # component-level hooks
+    "_trace", "tracer",             # span-tracing hooks
     "watchdog", "sampler",          # engine-level hooks
     "ledger", "telemetry",          # system-level hooks
+    "checkpointer",                 # checkpoint orchestration hook
 })
 
 # The instrumentation packages themselves call their own methods
 # unconditionally -- that is their job, not a gating violation.
 _EXEMPT_PATH_MARKERS = ("repro/faults/", "repro/telemetry/",
+                        "repro/tracing/", "repro/checkpoint/",
                         "repro/analysis/")
 
 
@@ -205,3 +219,95 @@ class MutableDefaultRule(Rule):
                         source, default,
                         f"mutable default argument in '{info.qualname}'",
                     )
+
+
+class InterproceduralHookRule(Rule):
+    """R12: hooks must not flow unguarded into dereferencing helpers."""
+
+    id = "R12"
+    name = "interprocedural-hook"
+    severity = "error"
+    summary = ("optional hooks must not flow unguarded into parameters "
+               "that are dereferenced")
+    rationale = (
+        "R4 sees the dereference only when the hook method call is "
+        "spelled at the offense site; factoring the call into a helper "
+        "(`emit(self._tele, ...)` where `emit` does `tele.record()`) "
+        "hides the exact same AttributeError behind one call edge.  "
+        "The dataflow pass summarizes every function's deref-unsafe "
+        "parameters (transitively, through forwarding helpers) and "
+        "flags any optional-hook expression handed to one without a "
+        "dominating `is not None` fact at the call site."
+    )
+    hint = ("test the hook before the call (`if self._tele is not "
+            "None: emit(self._tele, ...)`) or make the helper tolerate "
+            "None with an early return")
+
+    POSITIVE = (
+        "def emit(tele, event):\n"
+        "    tele.record(event)\n"
+        "def tick(self, engine):\n"
+        "    emit(self._tele, 'bank')\n"
+    )
+    NEGATIVE = (
+        "def emit(tele, event):\n"
+        "    if tele is None:\n"
+        "        return\n"
+        "    tele.record(event)\n"
+        "def push(tele, event):\n"
+        "    tele.record(event)\n"
+        "def tick(self, engine):\n"
+        "    emit(self._tele, 'bank')\n"
+        "    if self._tele is not None:\n"
+        "        push(self._tele, 'bank')\n"
+    )
+
+    def check(self, source, ctx):
+        if any(marker in source.rel for marker in _EXEMPT_PATH_MARKERS):
+            return
+        summaries = ctx.memo.get(self.id)
+        if summaries is None:
+            summaries = param_summaries(ctx.callgraph)
+            ctx.memo[self.id] = summaries
+        callgraph = ctx.callgraph
+        for info in source.functions:
+            key = (source.rel, info.qualname)
+            if key not in callgraph.functions:
+                continue
+            assignments = source.local_assignments(info.node)
+            scan = FlowScan(info.node)
+            seen = set()
+            for site in scan.calls:
+                hits = unsafe_arguments(
+                    callgraph, key, site, summaries,
+                    lambda path: self._is_hook_path(path, assignments),
+                )
+                for hit in hits:
+                    if id(hit.node) in seen:
+                        continue
+                    seen.add(id(hit.node))
+                    callee_rel, callee_qual = hit.callee
+                    yield self.finding(
+                        source, hit.node,
+                        f"'{ast.unparse(hit.node)}' flows unguarded "
+                        f"from '{info.qualname}' into parameter "
+                        f"'{hit.param}' of '{callee_qual}' "
+                        f"({callee_rel}), which dereferences it",
+                    )
+
+    @staticmethod
+    def _is_hook_path(path, assignments):
+        """Is *path* an optional-hook expression?
+
+        ``self._tele`` / ``engine.watchdog`` style two-element paths
+        whose attribute is a known hook name, or a bare local the
+        function assigns from one (the alias idiom).
+        """
+        if len(path) == 2 and path[1] in HOOK_ATTRS:
+            return True
+        if len(path) == 1:
+            for value in assignments.get(path[0], ()):
+                if (isinstance(value, ast.Attribute)
+                        and value.attr in HOOK_ATTRS):
+                    return True
+        return False

@@ -152,3 +152,101 @@ class TestBaselineFlow:
             "lint", "--paths", str(root),
             "--baseline", str(tmp_path / "nope.json"),
         ]) == 0
+
+    def test_unknown_rule_id_warns_with_location(self, tmp_path, capsys):
+        # Tolerant parsing: a retired/renamed rule id in the baseline
+        # is a warning naming the offending entry's line, never a
+        # tool error, and the rest of the baseline still applies.
+        root = scaffold(tmp_path, ALL_RULES[0].NEGATIVE)
+        baseline = tmp_path / "accepted.json"
+        payload = {
+            "schema": 1,
+            "accepted": [
+                {"rule": "R99", "path": "repro/core/x.py",
+                 "message": "retired finding", "line": 3},
+            ],
+        }
+        baseline.write_text(json.dumps(payload, indent=2),
+                            encoding="utf-8")
+        assert main([
+            "lint", "--paths", str(root), "--baseline", str(baseline),
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "unknown rule 'R99'" in err
+        lineno = next(
+            number
+            for number, line in enumerate(
+                baseline.read_text(encoding="utf-8").splitlines(), 1)
+            if '"rule": "R99"' in line
+        )
+        assert f"accepted.json:{lineno}:" in err
+
+
+class TestChangedScope:
+    @staticmethod
+    def _git(root, *args):
+        import subprocess
+
+        proc = subprocess.run(
+            ["git", "-C", str(root), *args],
+            capture_output=True, text=True,
+            env={**__import__("os").environ,
+                 "GIT_AUTHOR_NAME": "t", "GIT_AUTHOR_EMAIL": "t@t",
+                 "GIT_COMMITTER_NAME": "t", "GIT_COMMITTER_EMAIL": "t@t"},
+        )
+        assert proc.returncode == 0, proc.stderr
+        return proc.stdout
+
+    def test_changed_reports_only_diff_scope(self, tmp_path):
+        root = scaffold(tmp_path, ALL_RULES[0].NEGATIVE)
+        self._git(root, "init", "-q")
+        self._git(root, "add", "-A")
+        self._git(root, "commit", "-qm", "seed")
+        bad = (
+            "def tick(self, engine):\n"
+            "    while self.pending_reads:\n"
+            "        self.req_out.push(self.pending_reads.popleft())\n"
+        )
+        victim = root / "repro" / "core" / "newcode.py"
+        victim.write_text(bad, encoding="utf-8")
+        # Uncommitted violation: in the changed scope, so it gates.
+        assert main(["lint", "--paths", str(root), "--changed"]) == 1
+        # Committed (nothing changed any more): same tree passes,
+        # because --changed narrows reporting to the empty diff.
+        self._git(root, "add", "-A")
+        self._git(root, "commit", "-qm", "accepted")
+        assert main(["lint", "--paths", str(root), "--changed"]) == 0
+        # Without --changed the violation still gates: scoping is a
+        # reporting filter, not a weaker analysis.
+        assert main(["lint", "--paths", str(root)]) == 1
+
+    def test_changed_without_git_degrades_to_full_lint(
+            self, tmp_path, capsys):
+        rule = ALL_RULES[1]
+        root = scaffold(tmp_path, rule.POSITIVE)
+        code = main(["lint", "--paths", str(root), "--changed"])
+        assert code == 1  # degraded to a full lint, finding reported
+        assert "--changed" in capsys.readouterr().err
+
+
+class TestCacheDir:
+    def test_cache_roundtrip_through_cli(self, tmp_path, capsys):
+        root = scaffold(tmp_path / "tree", ALL_RULES[0].NEGATIVE)
+        cache = tmp_path / "cache"
+        assert main(["lint", "--paths", str(root),
+                     "--cache-dir", str(cache)]) == 0
+        assert "cache miss" in capsys.readouterr().err
+        assert main(["lint", "--paths", str(root),
+                     "--cache-dir", str(cache)]) == 0
+        assert "cache hit" in capsys.readouterr().err
+
+    def test_edit_invalidates_fingerprint(self, tmp_path, capsys):
+        root = scaffold(tmp_path / "tree", ALL_RULES[0].NEGATIVE)
+        cache = tmp_path / "cache"
+        main(["lint", "--paths", str(root), "--cache-dir", str(cache)])
+        capsys.readouterr()
+        (root / "repro" / "core" / "fixture.py").write_text(
+            "def quiet():\n    return 0\n", encoding="utf-8")
+        assert main(["lint", "--paths", str(root),
+                     "--cache-dir", str(cache)]) == 0
+        assert "cache miss" in capsys.readouterr().err

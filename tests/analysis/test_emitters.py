@@ -10,10 +10,18 @@ is *meant* to change (see make_fixture_result's docstring).
 import json
 import pathlib
 
+import pytest
+
+from repro.analysis import lint_text
 from repro.analysis.emitters import emit_json, emit_sarif, emit_text
 from repro.analysis.findings import Finding, LintResult
+from repro.analysis.rules import RULES_BY_KEY
 
 GOLDEN = pathlib.Path(__file__).resolve().parent / "golden"
+
+# The whole-program passes each freeze the SARIF their POSITIVE
+# fixture produces (regenerate() rewrites these too).
+WHOLE_PROGRAM_RULES = ("r11", "r12", "r13", "r14")
 
 
 def make_fixture_result():
@@ -68,6 +76,11 @@ def regenerate():
         emit_json(result, show_suppressed=True), encoding="utf-8")
     (GOLDEN / "findings.sarif").write_text(
         emit_sarif(result), encoding="utf-8")
+    for key in WHOLE_PROGRAM_RULES:
+        rule = RULES_BY_KEY[key]
+        result = lint_text(rule.POSITIVE, rules=(rule,))
+        (GOLDEN / f"{key}.sarif").write_text(
+            emit_sarif(result), encoding="utf-8")
 
 
 class TestEmitterGoldens:
@@ -85,7 +98,8 @@ class TestEmitterGoldens:
         assert log["version"] == "2.1.0"
         run = log["runs"][0]
         rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
-        assert {"R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8"} <= rule_ids
+        assert {"R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8",
+                "R11", "R12", "R13", "R14"} <= rule_ids
         results = run["results"]
         # Active findings carry no suppressions; the inline-suppressed
         # one is present but marked.
@@ -98,6 +112,16 @@ class TestEmitterGoldens:
         assert kinds["R1"] == ["inSource"]
         location = results[0]["locations"][0]["physicalLocation"]
         assert location["artifactLocation"]["uri"].startswith("src/repro/")
+
+    @pytest.mark.parametrize("key", WHOLE_PROGRAM_RULES)
+    def test_whole_program_positive_sarif_frozen(self, key):
+        # Each whole-program pass's POSITIVE fixture serializes to the
+        # checked-in SARIF byte-for-byte: message wording, anchor line,
+        # and envelope are all part of the pass's contract.
+        rule = RULES_BY_KEY[key]
+        result = lint_text(rule.POSITIVE, rules=(rule,))
+        expected = (GOLDEN / f"{key}.sarif").read_text(encoding="utf-8")
+        assert emit_sarif(result) == expected
 
     def test_text_format_shape(self):
         text = emit_text(make_fixture_result(), show_suppressed=True)
